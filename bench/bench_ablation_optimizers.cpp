@@ -1,0 +1,138 @@
+/// Ablation A1: optimizer comparison on the same X-gate problem.  The
+/// paper's Section 2.1 claims first-order GRAPE "converges very slowly" and
+/// CRAB's "direct search approach makes the convergence very slow"; the
+/// second-order GRAPE (L-BFGS-B) is the method of choice.  This bench
+/// quantifies all three on identical problems.
+
+#include "bench_common.hpp"
+
+#include "control/krotov.hpp"
+#include "quantum/operators.hpp"
+#include "control/pulse_shapes.hpp"
+#include <numbers>
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Ablation A1", "L-BFGS-B vs first-order GRAPE vs CRAB (X-gate problem)");
+
+    auto make_spec = [](control::OptimMethod method, int budget) {
+        control::PulseOptimSpec spec;
+        spec.h_drift = linalg::Mat(2, 2);
+        spec.h_ctrls = {0.5 * quantum::sigma_x(), 0.5 * quantum::sigma_y()};
+        spec.u_target = g::x();
+        spec.n_timeslots = 32;
+        spec.evo_time = 60.0;
+        spec.initial_pulse = control::InitialPulseType::kDrag;
+        spec.initial_scale = 0.08;
+        spec.method = method;
+        spec.max_iterations = budget;
+        spec.max_evaluations = 20000;
+        spec.target_fid_err = 1e-10;
+        return spec;
+    };
+
+    std::vector<std::vector<std::string>> rows;
+    auto run = [&](const char* name, control::OptimMethod method, int budget) {
+        const auto res = control::pulse_optim(make_spec(method, budget));
+        char err[32], iters[32], evals[32];
+        std::snprintf(err, sizeof(err), "%.2e", res.final_fid_err);
+        std::snprintf(iters, sizeof(iters), "%d", res.iterations);
+        std::snprintf(evals, sizeof(evals), "%d", res.evaluations);
+        rows.push_back({name, err, iters, evals, optim::to_string(res.reason)});
+    };
+
+    // Same evaluation budget (~60) for the gradient methods, then extended
+    // budgets: the point is iterations-to-convergence, not reachability.
+    run("L-BFGS-B (2nd-order GRAPE)", control::OptimMethod::kLbfgsB, 60);
+    run("gradient descent, same budget", control::OptimMethod::kGradientDescent, 60);
+    run("gradient descent, 500 iters", control::OptimMethod::kGradientDescent, 500);
+    run("CRAB (Fourier basis + Nelder-Mead)", control::OptimMethod::kCrab, 4000);
+
+    // Krotov is not a pulse_optim method (it has its own sequential-update
+    // driver); run it on the equivalent GrapeProblem.
+    {
+        control::GrapeProblem prob;
+        prob.system.drift = linalg::Mat(2, 2);
+        prob.system.ctrls = {0.5 * quantum::sigma_x(), 0.5 * quantum::sigma_y()};
+        prob.target = g::x();
+        prob.n_timeslots = 32;
+        prob.evo_time = 60.0;
+        prob.initial_amps = control::build_initial_amps(make_spec(control::OptimMethod::kLbfgsB, 1));
+        const auto kr = control::krotov_unitary(prob, {.lambda = 0.5, .max_iterations = 500,
+                                                       .target_fid_err = 1e-10});
+        char err[32], iters[32], evals[32];
+        std::snprintf(err, sizeof(err), "%.2e", kr.final_fid_err);
+        std::snprintf(iters, sizeof(iters), "%d", kr.iterations);
+        std::snprintf(evals, sizeof(evals), "%d", kr.evaluations);
+        rows.push_back({"Krotov (monotonic, sequential)", err, iters, evals,
+                        optim::to_string(kr.reason)});
+    }
+
+    print_table("optimizer comparison (easy problem: 2-level X gate)",
+                {"method", "final fidelity error", "iterations", "evaluations", "stop"},
+                rows);
+
+    // Part 2: a stiff problem -- Hadamard on the 3-level Duffing transmon
+    // with subspace fidelity, where curvature information actually matters.
+    rows.clear();
+    const auto nominal = device::nominal_model(device::ibmq_montreal());
+    control::GrapeProblem hard;
+    hard.system.drift = quantum::duffing_drift(3, 0.0, nominal.qubit(0).anharmonicity);
+    hard.system.ctrls = {0.5 * quantum::drive_x(3), 0.5 * quantum::drive_y(3)};
+    hard.target = g::h();
+    hard.subspace_isometry = quantum::qubit_isometry(3);
+    hard.n_timeslots = 48;
+    hard.evo_time = 1216.0 * nominal.dt;
+    hard.amp_lower = -0.15;
+    hard.amp_upper = 0.15;
+    // Area-matched Gaussian seed (same for every method).
+    {
+        const auto env = control::gaussian_pulse(48);
+        const double area = control::pulse_area(env, hard.evo_time / 48.0);
+        hard.initial_amps.assign(48, {0.0, 0.0});
+        for (std::size_t k = 0; k < 48; ++k) {
+            hard.initial_amps[k][0] = env[k] * std::numbers::pi / area;
+        }
+    }
+
+    auto add_row = [&](const char* name, const control::GrapeResult& res) {
+        char err[32], iters[32], evals[32];
+        std::snprintf(err, sizeof(err), "%.2e", res.final_fid_err);
+        std::snprintf(iters, sizeof(iters), "%d", res.iterations);
+        std::snprintf(evals, sizeof(evals), "%d", res.evaluations);
+        rows.push_back({name, err, iters, evals, optim::to_string(res.reason)});
+    };
+    add_row("L-BFGS-B (2nd-order GRAPE)",
+            control::grape_unitary(hard, {.max_iterations = 200, .target_f = 1e-10}));
+    add_row("gradient descent, 200 iters", control::grape_gradient_descent(hard, 0.1, 200));
+    add_row("gradient descent, 2000 iters", control::grape_gradient_descent(hard, 0.1, 2000));
+    add_row("Krotov, 48 slots (too coarse)",
+            control::krotov_unitary(hard, {.lambda = 2.0, .max_iterations = 500,
+                                           .target_fid_err = 1e-10}));
+    // Krotov's sequential update needs dt*||H|| << 1 (the anharmonic phase
+    // per 48-slot step is ~12 rad); with per-4dt slots it is monotone and fast.
+    {
+        control::GrapeProblem fine = hard;
+        fine.n_timeslots = 608;
+        const auto env = control::gaussian_pulse(608);
+        const double area = control::pulse_area(env, fine.evo_time / 608.0);
+        fine.initial_amps.assign(608, {0.0, 0.0});
+        for (std::size_t k = 0; k < 608; ++k) {
+            fine.initial_amps[k][0] = env[k] * std::numbers::pi / area;
+        }
+        add_row("Krotov, 608 slots",
+                control::krotov_unitary(fine, {.lambda = 2.0, .max_iterations = 500,
+                                               .target_fid_err = 1e-10}));
+    }
+    print_table("optimizer comparison (stiff problem: 3-level Duffing Hadamard)",
+                {"method", "final fidelity error", "iterations", "evaluations", "stop"},
+                rows);
+
+    std::printf("\n[paper: 'GRAPE converges very slowly' (first order), CRAB's 'direct\n"
+                " search approach makes the convergence very slow'; the second-order\n"
+                " L-BFGS-B is the method of choice.  Bonus finding: Krotov's sequential\n"
+                " update also needs a fine time grid (dt*||H|| << 1) where GRAPE's exact\n"
+                " per-slot exponentials do not]\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+/// Ablation A5: effect of the always-on ZZ coupling on the two-qubit gate
+/// error floor.  The paper's Discussion calls static ZZ "an ever present
+/// source of error"; here we sweep its strength and measure the default CX
+/// error and the entangled-state quality.
+
+#include "bench_common.hpp"
+
+#include "quantum/fidelity.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Ablation A5", "static ZZ coupling vs two-qubit gate error");
+
+    std::printf("%-14s %-18s %-14s\n", "zz (rad/ns)", "default CX infid.", "P(11) after x;cx");
+    for (double zz : {0.0, 1e-4, 2e-4, 4e-4, 8e-4}) {
+        auto cfg = device::ibmq_montreal();
+        cfg.cr.zz_static = zz;
+        device::PulseExecutor dev(cfg);
+        const auto defaults = device::build_default_gates(dev);
+        const auto sup = dev.schedule_superop_2q(defaults.get("cx", {0, 1}));
+        const double err = 1.0 - quantum::average_gate_fidelity_superop(g::cx(), sup);
+        const auto counts = state_histogram_cx(dev, defaults, nullptr, 8192, 42);
+        std::printf("%-14.1e %-18.4e %-14.2f%%\n", zz, err,
+                    100.0 * counts.probability("11"));
+    }
+    std::printf("\n[the default CX is calibrated per configuration, yet its error floor\n"
+                " rises with ZZ: the coupling acts during the whole pulse and between\n"
+                " gates, exactly the paper's 'ever present source of error']\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/// Reproduces paper Fig. 1: the `pulseoptim` input/output pulse pair --
+/// initial (seed) amplitudes in the top panel, optimized amplitudes below,
+/// plus the optimizer's convergence trace.
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 1", "pulseoptim initial vs optimized control amplitudes");
+
+    control::PulseOptimSpec spec;
+    spec.h_drift = linalg::Mat(2, 2);
+    spec.h_ctrls = {0.5 * quantum::sigma_x(), 0.5 * quantum::sigma_y()};
+    spec.u_target = g::x();
+    spec.n_timeslots = 64;
+    spec.evo_time = 100.0;
+    spec.initial_pulse = control::InitialPulseType::kDrag;
+    spec.initial_scale = 0.08;
+
+    const auto res = control::pulse_optim(spec);
+
+    auto column = [&](const control::ControlAmplitudes& amps, std::size_t j) {
+        std::vector<double> out(amps.size());
+        for (std::size_t k = 0; k < amps.size(); ++k) out[k] = amps[k][j];
+        return out;
+    };
+    std::printf("\nInitial pulse (seed: drag):\n");
+    print_pulse("u_x (sigma_x control)", column(res.initial_amps, 0));
+    print_pulse("u_y (sigma_y control)", column(res.initial_amps, 1));
+    std::printf("\nOptimized pulse (L-BFGS-B, %d iterations, %s):\n", res.iterations,
+                optim::to_string(res.reason).c_str());
+    print_pulse("u_x (sigma_x control)", column(res.final_amps, 0));
+    print_pulse("u_y (sigma_y control)", column(res.final_amps, 1));
+
+    std::printf("\nConvergence (fidelity error per iteration):\n");
+    for (std::size_t i = 0; i < res.fid_err_history.size();
+         i += std::max<std::size_t>(1, res.fid_err_history.size() / 12)) {
+        std::printf("   iter %3zu: %.3e\n", i, res.fid_err_history[i]);
+    }
+    std::printf("\ninitial fidelity error: %.3e\n", res.initial_fid_err);
+    std::printf("final fidelity error  : %.3e\n", res.final_fid_err);
+    std::printf("[paper: pulseoptim converges to a machine-precision X gate]\n");
+    return 0;
+}

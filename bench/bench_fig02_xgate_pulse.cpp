@@ -1,0 +1,39 @@
+/// Reproduces paper Fig. 2: the optimized X-gate control pulse as played on
+/// ibmq_montreal's D0 drive channel (480 dt ~ 105 ns), with the custom gate
+/// confirmed to shadow the default in the transpiled circuit.
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 2", "optimized X pulse on ibmq_montreal D0 (480 dt, drag seed)");
+
+    device::PulseExecutor dev(device::ibmq_montreal());
+    const auto defaults = device::build_default_gates(dev);
+    const DesignedGate designed = design_x_long(device::nominal_model(dev.config()));
+
+    std::printf("model infidelity after optimization: %.3e\n", designed.model_fid_err);
+    std::printf("pulse duration: %zu dt = %.1f ns (default X: 160 dt = %.1f ns)\n",
+                designed.duration_dt, designed.duration_dt * dev.config().dt,
+                160 * dev.config().dt);
+
+    const auto samples = designed.schedule.channel_samples(pulse::drive_channel(0),
+                                                           designed.duration_dt);
+    print_waveform("D0 drive (waveform 1 = X control = I, waveform 2 = Y control = Q)",
+                   samples);
+
+    // "The default X gate is replaced by our optimized X gate, which is
+    // confirmed in the transpiling process": an identity-like custom pulse
+    // proves the calibration shadows the default, then the real pulse runs.
+    pulse::QuantumCircuit qc(1);
+    qc.add_calibration("x", {0}, designed.schedule);
+    qc.x(0).measure(0);
+    const pulse::Schedule sched = pulse::circuit_to_schedule(qc, defaults);
+    std::printf("\ntranspiled schedule duration: %zu dt (custom pulse: %zu dt) -> %s\n",
+                sched.total_duration(), designed.duration_dt,
+                sched.total_duration() == designed.duration_dt
+                    ? "custom calibration took effect"
+                    : "MISMATCH");
+    return 0;
+}

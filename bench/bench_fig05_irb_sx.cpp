@@ -1,0 +1,37 @@
+/// Reproduces paper Fig. 5: IRB of custom vs default sqrt(X) on
+/// ibmq_montreal plus the equal-superposition histogram.
+/// Paper values: custom 2.4e-4 +- 8e-5, default 6.5e-4 +- 1.42e-4.
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 5", "IRB of custom vs default sqrt(X) on ibmq_montreal + histogram");
+
+    device::PulseExecutor dev(device::ibmq_montreal());
+    const auto defaults = device::build_default_gates(dev);
+    const DesignedGate designed = design_sx_long(device::nominal_model(dev.config()));
+    rb::Clifford1Q group;
+
+    const GateComparison cmp = compare_1q_gate(dev, defaults, "sx", 0, designed.schedule,
+                                               group, rb_settings_1q());
+
+    print_rb_curve("(a) custom sqrt(X): interleaved RB", cmp.custom.interleaved);
+    print_rb_curve("(b) default sqrt(X): interleaved RB", cmp.standard.interleaved);
+
+    print_table("Fig. 5 error rates",
+                {"gate", "IRB error (measured)", "paper"},
+                {{"custom sqrt(X)",
+                  format_error_rate(cmp.custom.gate_error, cmp.custom.gate_error_err),
+                  "2.40(80)e-04"},
+                 {"default sqrt(X)",
+                  format_error_rate(cmp.standard.gate_error, cmp.standard.gate_error_err),
+                  "6.50(142)e-04"}});
+    std::printf("improvement: %.1f%%  [paper: ~63%%]\n", cmp.improvement_percent);
+
+    const auto counts = state_histogram_1q(dev, defaults, "sx", 0, &designed.schedule,
+                                           4096, 505);
+    print_histogram("(c) custom sqrt(X) on |0> [paper: ~equal superposition]", counts);
+    return 0;
+}

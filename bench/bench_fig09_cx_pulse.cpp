@@ -1,0 +1,27 @@
+/// Reproduces paper Fig. 9: the Gaussian-square-seeded custom CX pulse on
+/// ibmq_montreal -- waveforms on D0, D1 and the control channel U0.
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 9", "Gaussian-square CX pulse on ibmq_montreal (D0, D1, U0)");
+
+    device::PulseExecutor dev(device::ibmq_montreal());
+    const DesignedCx designed = design_cx_gaussian_square(device::nominal_model(dev.config()));
+
+    std::printf("model infidelity: %.3e\n", designed.model_fid_err);
+    std::printf("pulse duration: %zu dt = %.0f ns (default echoed-CR CX: %zu dt)\n",
+                designed.duration_dt, designed.duration_dt * dev.config().dt,
+                device::build_default_gates(dev).get("cx", {0, 1}).total_duration());
+
+    const std::size_t n = designed.schedule.total_duration();
+    print_waveform("D0 (control-qubit drive; locals are virtual -> empty)",
+                   designed.schedule.channel_samples(pulse::drive_channel(0), n));
+    print_waveform("D1 (target-qubit drive)",
+                   designed.schedule.channel_samples(pulse::drive_channel(1), n));
+    print_waveform("U0 (cross-resonance drive, Gaussian-square seed)",
+                   designed.schedule.channel_samples(pulse::control_channel(0), n));
+    return 0;
+}

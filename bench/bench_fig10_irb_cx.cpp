@@ -1,0 +1,34 @@
+/// Reproduces paper Fig. 10: two-qubit IRB of the custom CX vs the default
+/// CX on ibmq_montreal.
+/// Paper values: custom 5.64e-3 +- 9.2e-4, default 6.18e-3 +- 1.33e-3 (~8%).
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 10", "two-qubit IRB: custom vs default CX on ibmq_montreal");
+
+    device::PulseExecutor dev(device::ibmq_montreal());
+    const auto defaults = device::build_default_gates(dev);
+    const DesignedCx designed = design_cx_gaussian_square(device::nominal_model(dev.config()));
+
+    rb::Clifford1Q c1;
+    rb::Clifford2Q c2(c1);
+    const GateComparison cmp =
+        compare_cx_gate(dev, defaults, designed.schedule, c1, c2, rb_settings_2q());
+
+    print_rb_curve("(a) custom CX: interleaved RB", cmp.custom.interleaved);
+    print_rb_curve("(b) default CX: interleaved RB", cmp.standard.interleaved);
+
+    print_table("Fig. 10 error rates",
+                {"gate", "IRB error (measured)", "paper"},
+                {{"custom CX",
+                  format_error_rate(cmp.custom.gate_error, cmp.custom.gate_error_err),
+                  "5.64(92)e-03"},
+                 {"default CX",
+                  format_error_rate(cmp.standard.gate_error, cmp.standard.gate_error_err),
+                  "6.18(133)e-03"}});
+    std::printf("improvement: %.1f%%  [paper: ~8%%]\n", cmp.improvement_percent);
+    return 0;
+}

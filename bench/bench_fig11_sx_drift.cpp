@@ -1,0 +1,64 @@
+/// Reproduces paper Fig. 11: day-to-day behaviour of the sqrt(X) gate.
+///  (a) the SAME optimized pulse executed over four consecutive days;
+///  (b) a pulse re-optimized daily from the backend's reported calibration;
+///  (c) the IRB error next to the histogram -- the paper's punchline: the
+///      measured state probability wanders while IRB barely moves.
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 11", "sqrt(X) over four days: fixed pulse vs daily re-optimization");
+
+    // A drift window containing an anomalous day, like the paper's Dec run.
+    const device::DriftModel drift(device::ibmq_montreal(), /*seed=*/2021);
+    int first_day = 0;
+    for (int d = 0; d < 40; ++d) {
+        if (drift.is_jump_day(d + 1) || drift.is_jump_day(d + 2)) {
+            first_day = d;
+            break;
+        }
+    }
+    std::printf("drift window: days %d..%d (contains an anomalous calibration day)\n\n",
+                first_day, first_day + 3);
+
+    const DesignedGate fixed = design_sx_long(device::nominal_model(drift.nominal()));
+    rb::Clifford1Q group;
+    rb::RbOptions irb_opts = rb_settings_1q();
+    irb_opts.seeds_per_length = 8;  // per-day runs; keep each day quick
+
+    std::printf("%-5s %-6s | %-18s | %-18s | %-16s\n", "day", "jump?", "(a) fixed P(1) [%]",
+                "(b) daily P(1) [%]", "(c) fixed IRB err");
+    for (int offset = 0; offset < 4; ++offset) {
+        const int day = first_day + offset;
+        const auto today = drift.device_on_day(day);
+        device::PulseExecutor dev(today);
+        const auto defaults = device::build_default_gates(dev);
+
+        // (a) the fixed pulse.
+        const auto fixed_counts =
+            state_histogram_1q(dev, defaults, "sx", 0, &fixed.schedule, 4096, 1100 + day);
+
+        // (b) re-optimized daily against the *reported* calibration (T1/T2
+        // and frequency are published; amplitude-scale drift is not).
+        const DesignedGate daily = design_sx_long(device::nominal_model(today));
+        const auto daily_counts =
+            state_histogram_1q(dev, defaults, "sx", 0, &daily.schedule, 4096, 1200 + day);
+
+        // (c) IRB of the fixed pulse.
+        const auto sup = dev.schedule_superop_1q(fixed.schedule, 0);
+        const auto irb = rb::run_irb_1q(dev, rb::GateSet1Q(dev, defaults, 0, group), 0, sup,
+                                        group.find(g::sx()), irb_opts);
+
+        std::printf("%-5d %-6s | %-18.2f | %-18.2f | %-16s\n", day,
+                    drift.is_jump_day(day) ? "yes" : "no",
+                    100.0 * fixed_counts.probability("1"),
+                    100.0 * daily_counts.probability("1"),
+                    format_error_rate(irb.gate_error, irb.gate_error_err).c_str());
+    }
+    std::printf("\n[paper: one day's histogram differs sharply from the others while the\n"
+                " IRB gate error stays low and similar across days -- IRB is insensitive\n"
+                " to the readout drift that dominates the histograms]\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/// Reproduces paper Fig. 13: the short-duration optimized pulses --
+/// (a-c) X at 256 dt (~56 ns): pulse, histogram (94.2% in |1>), IRB 1.38e-4;
+/// (d-f) sqrt(X) at 144 dt (~31.6 ns): pulse, histogram, IRB 4.13e-4;
+/// (g-i) H at 128 dt (~28 ns): pulse, histogram, IRB 3.07e-4.
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 13", "short-duration pulses: waveform, histogram, IRB");
+
+    rb::Clifford1Q group;
+
+    struct Row {
+        const char* label;
+        DesignedGate designed;
+        device::BackendConfig cfg;
+        const char* gate;
+        const char* paper_irb;
+    };
+
+    const auto montreal = device::ibmq_montreal();
+    const auto toronto = device::ibmq_toronto();
+    std::vector<Row> rows;
+    rows.push_back({"(a-c) X, 256 dt (~56 ns)", design_x_short(device::nominal_model(montreal)),
+                    montreal, "x", "1.38(11)e-04"});
+    rows.push_back({"(d-f) sqrt(X), 144 dt (~31.6 ns)",
+                    design_sx_short(device::nominal_model(montreal)), montreal, "sx",
+                    "4.13(20)e-04"});
+    rows.push_back({"(g-i) H, 128 dt (~28 ns)", design_h_short(device::nominal_model(toronto)),
+                    toronto, "h", "3.07(13)e-04"});
+
+    for (const Row& row : rows) {
+        std::printf("\n=== %s ===\n", row.label);
+        device::PulseExecutor dev(row.cfg);
+        const auto defaults = device::build_default_gates(dev);
+
+        const auto samples = row.designed.schedule.channel_samples(
+            pulse::drive_channel(0), row.designed.duration_dt);
+        print_waveform("control pulse", samples);
+
+        const auto counts = state_histogram_1q(dev, defaults, row.gate, 0,
+                                               &row.designed.schedule, 4096, 1313);
+        print_histogram("qubit-state measurement", counts);
+
+        const GateComparison cmp = compare_1q_gate(dev, defaults, row.gate, 0,
+                                                   row.designed.schedule, group,
+                                                   rb_settings_1q());
+        std::printf("   IRB gate error: %s  [paper: %s]\n",
+                    format_error_rate(cmp.custom.gate_error, cmp.custom.gate_error_err).c_str(),
+                    row.paper_irb);
+        std::printf("   default gate:   %s\n",
+                    format_error_rate(cmp.standard.gate_error,
+                                      cmp.standard.gate_error_err).c_str());
+    }
+    return 0;
+}

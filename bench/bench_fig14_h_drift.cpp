@@ -1,0 +1,44 @@
+/// Reproduces paper Fig. 14 (supplementary): the Hadamard gate over four
+/// days -- (a) the same optimized pulse, (b) daily re-optimized pulses.
+/// The paper saw the largest fluctuations on two of the days and the best
+/// daily-pulse result on the last day.
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Fig. 14 (suppl.)", "Hadamard over four days: fixed vs daily pulses");
+
+    const device::DriftModel drift(device::ibmq_toronto(), /*seed=*/1214);
+    int first_day = 0;
+    for (int d = 0; d < 60; ++d) {
+        if (drift.is_jump_day(d) || drift.is_jump_day(d + 1)) {
+            first_day = d;
+            break;
+        }
+    }
+    const DesignedGate fixed = design_h_long(device::nominal_model(drift.nominal()));
+
+    std::printf("window: days %d..%d\n\n", first_day, first_day + 3);
+    std::printf("%-5s %-6s %-22s %-22s\n", "day", "jump?", "(a) fixed pulse P(1) [%]",
+                "(b) daily pulse P(1) [%]");
+    for (int offset = 0; offset < 4; ++offset) {
+        const int day = first_day + offset;
+        const auto today = drift.device_on_day(day);
+        device::PulseExecutor dev(today);
+        const auto defaults = device::build_default_gates(dev);
+
+        const auto fixed_counts =
+            state_histogram_1q(dev, defaults, "h", 0, &fixed.schedule, 4096, 1400 + day);
+        const DesignedGate daily = design_h_long(device::nominal_model(today));
+        const auto daily_counts =
+            state_histogram_1q(dev, defaults, "h", 0, &daily.schedule, 4096, 1450 + day);
+
+        std::printf("%-5d %-6s %-22.2f %-22.2f\n", day, drift.is_jump_day(day) ? "yes" : "no",
+                    100.0 * fixed_counts.probability("1"),
+                    100.0 * daily_counts.probability("1"));
+    }
+    std::printf("\n[paper: most fluctuation on two days; H should give P(1) = 50%%]\n");
+    return 0;
+}

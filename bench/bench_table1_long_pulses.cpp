@@ -1,0 +1,87 @@
+/// Reproduces paper Table 1: IRB error rates of the long-duration custom
+/// pulses against the defaults.
+///   X       (montreal): 2.0(5)e-4  vs 2.8(5)e-4    -> 29%
+///   sqrt(X) (montreal): 2.4(8)e-4  vs 6.5(1.4)e-4  -> 63%
+///   H       (toronto) : 26(4)e-4   vs 5.0(8)e-4    -> N/A (custom worse)
+///   CX      (montreal): 5.6(9)e-3  vs 6.2(1.3)e-3  -> 10%
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Table 1", "long-duration custom pulses vs defaults (IRB)");
+
+    rb::Clifford1Q c1;
+    std::vector<std::vector<std::string>> rows;
+
+    // X and sqrt(X) on ibmq_montreal.
+    {
+        device::PulseExecutor dev(device::ibmq_montreal());
+        const auto defaults = device::build_default_gates(dev);
+        const auto nominal = device::nominal_model(dev.config());
+
+        const auto x_cmp = compare_1q_gate(dev, defaults, "x", 0,
+                                           design_x_long(nominal).schedule, c1,
+                                           rb_settings_1q());
+        char impr[32];
+        std::snprintf(impr, sizeof(impr), "%.0f%%", x_cmp.improvement_percent);
+        rows.push_back({"X (480 dt)",
+                        format_error_rate(x_cmp.custom.gate_error, x_cmp.custom.gate_error_err),
+                        format_error_rate(x_cmp.standard.gate_error,
+                                          x_cmp.standard.gate_error_err),
+                        impr, "2.0(5)e-4 vs 2.8(5)e-4, 29%"});
+
+        const auto sx_cmp = compare_1q_gate(dev, defaults, "sx", 0,
+                                            design_sx_long(nominal).schedule, c1,
+                                            rb_settings_1q());
+        std::snprintf(impr, sizeof(impr), "%.0f%%", sx_cmp.improvement_percent);
+        rows.push_back({"sqrt(X) (736 dt)",
+                        format_error_rate(sx_cmp.custom.gate_error,
+                                          sx_cmp.custom.gate_error_err),
+                        format_error_rate(sx_cmp.standard.gate_error,
+                                          sx_cmp.standard.gate_error_err),
+                        impr, "2.4(8)e-4 vs 6.5(1.4)e-4, 63%"});
+    }
+
+    // H on ibmq_toronto (drifted day, like the paper's run -- see Fig. 7).
+    {
+        const device::DriftModel drift(device::ibmq_toronto(), 411);
+        device::PulseExecutor dev(drift.device_on_day(2));
+        const auto defaults = device::build_default_gates(dev);
+        const auto h_cmp = compare_1q_gate(dev, defaults, "h", 0,
+                                           design_h_long(device::nominal_model(
+                                               drift.nominal())).schedule,
+                                           c1, rb_settings_1q());
+        rows.push_back({"H (1216 dt)",
+                        format_error_rate(h_cmp.custom.gate_error, h_cmp.custom.gate_error_err),
+                        format_error_rate(h_cmp.standard.gate_error,
+                                          h_cmp.standard.gate_error_err),
+                        h_cmp.improvement_percent > 0 ? "(improved)" : "N/A",
+                        "26(4)e-4 vs 5.0(8)e-4, N/A"});
+    }
+
+    // CX on ibmq_montreal.
+    {
+        device::PulseExecutor dev(device::ibmq_montreal());
+        const auto defaults = device::build_default_gates(dev);
+        rb::Clifford2Q c2(c1);
+        const auto cx_cmp = compare_cx_gate(
+            dev, defaults, design_cx_gaussian_square(device::nominal_model(dev.config())).schedule,
+            c1, c2, rb_settings_2q());
+        char impr[32];
+        std::snprintf(impr, sizeof(impr), "%.0f%%", cx_cmp.improvement_percent);
+        rows.push_back({"CX",
+                        format_error_rate(cx_cmp.custom.gate_error,
+                                          cx_cmp.custom.gate_error_err),
+                        format_error_rate(cx_cmp.standard.gate_error,
+                                          cx_cmp.standard.gate_error_err),
+                        impr, "5.6(9)e-3 vs 6.2(1.3)e-3, 10%"});
+    }
+
+    print_table("Table 1: error rate per gate, long-duration custom pulses",
+                {"gate", "custom IRB error", "default IRB error", "improvement",
+                 "paper (custom vs default)"},
+                rows);
+    return 0;
+}

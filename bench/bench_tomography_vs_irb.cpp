@@ -1,0 +1,86 @@
+/// Cross-check for the paper's conclusion that "IRB results do not always
+/// present an accurate picture": estimate the same gates' error three ways
+/// -- direct (exact channel fidelity), process tomography (SPAM-mitigated)
+/// and IRB -- for an incoherently-limited gate and for a deliberately
+/// miscalibrated (coherent-error) gate.  IRB tracks the incoherent case well
+/// and misreports the coherent one.
+
+#include "bench_common.hpp"
+
+#include "quantum/fidelity.hpp"
+#include "rb/tomography.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::bench;
+    banner("Cross-check", "direct vs tomography vs IRB error estimates");
+
+    device::PulseExecutor dev(device::ibmq_montreal());
+    const auto defaults = device::build_default_gates(dev);
+    rb::Clifford1Q group;
+    const std::size_t levels = dev.config().levels;
+
+    auto assess = [&](const char* label, const linalg::Mat& sup) {
+        const double direct = 1.0 - quantum::average_gate_fidelity_subspace(g::x(), sup, levels);
+        const auto tomo = rb::process_tomography_1q(dev, defaults, sup, g::x(), 0,
+                                                    {.shots = 1 << 15});
+        rb::RbOptions opts = rb_settings_1q();
+        opts.seeds_per_length = 8;
+        const auto irb = rb::run_irb_1q(dev, rb::GateSet1Q(dev, defaults, 0, group), 0, sup,
+                                        group.find(g::x()), opts);
+        std::printf("%-34s direct=%.3e  tomography=%.3e  IRB=%.3e\n", label, direct,
+                    1.0 - tomo.avg_gate_fidelity, irb.gate_error);
+    };
+
+    // 1. The default X: mostly incoherent error (decoherence + drive noise).
+    assess("default X (incoherent-dominated)",
+           dev.schedule_superop_1q(defaults.get("x", {0}), 0));
+
+    // 2. A coherently over-rotated X: amplitude 6% high (direct error well
+    // above tomography's SPAM floor).
+    {
+        const auto rabi = device::rabi_calibrate(dev, 0);
+        const double beta = device::default_drag_beta(dev.config(), 0, 160);
+        const auto wf =
+            pulse::drag_waveform(160, {1.06 * rabi.pi_amplitude, 0.0}, beta);
+        assess("over-rotated X (+6% amplitude)", dev.waveform_superop_1q(wf.samples(), 0));
+    }
+
+    // 3. A detuned X: the qubit drifted 2pi*300 kHz since calibration.
+    {
+        auto cfg = dev.config();
+        cfg.qubits[0].detuning = 2.0 * M_PI * 3.0e-4;
+        device::PulseExecutor drifted(cfg);
+        const auto sup = drifted.schedule_superop_1q(defaults.get("x", {0}), 0);
+        const double direct = 1.0 - quantum::average_gate_fidelity_subspace(g::x(), sup, levels);
+        const auto tomo = rb::process_tomography_1q(drifted, defaults, sup, g::x(), 0,
+                                                    {.shots = 1 << 15});
+        rb::RbOptions opts = rb_settings_1q();
+        opts.seeds_per_length = 8;
+        const auto irb = rb::run_irb_1q(drifted, rb::GateSet1Q(drifted, defaults, 0, group), 0,
+                                        sup, group.find(g::x()), opts);
+        std::printf("%-34s direct=%.3e  tomography=%.3e  IRB=%.3e\n",
+                    "detuned X (300 kHz drift)", direct, 1.0 - tomo.avg_gate_fidelity,
+                    irb.gate_error);
+    }
+
+    // 4. Two-qubit cross-check: the default CX, where the paper's IRB error
+    // bars were widest.
+    {
+        const auto sup = dev.schedule_superop_2q(defaults.get("cx", {0, 1}));
+        const double direct = 1.0 - quantum::average_gate_fidelity_superop(g::cx(), sup);
+        const auto tomo = rb::process_tomography_2q(dev, defaults, sup, g::cx(),
+                                                    {.shots = 1 << 14});
+        std::printf("%-34s direct=%.3e  tomography=%.3e  (IRB: see Fig. 10 bench)\n",
+                    "default CX (two-qubit)", direct, 1.0 - tomo.avg_gate_fidelity);
+    }
+
+    std::printf("\n[three lessons, all the paper's own caveats quantified:\n"
+                "  * tomography has a SPAM floor near 1e-3: it cannot resolve the default\n"
+                "    gate (its estimate can even come out negative) -- the reason RB exists;\n"
+                "  * IRB tracks incoherent error well but twirls coherent errors into a\n"
+                "    depolarizing rate and can under-report them badly (detuned case);\n"
+                "  * no single number tells the whole story -- 'IRB results do not always\n"
+                "    present an accurate picture']\n");
+    return 0;
+}

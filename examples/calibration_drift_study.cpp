@@ -1,0 +1,65 @@
+/// \file calibration_drift_study.cpp
+/// \brief The paper's Section 4 experiment: take one optimized pulse and
+///        run it on the (drifting) device over a week.  Daily recalibration
+///        keeps the default gates matched to the hardware while the fixed
+///        custom pulse -- and the readout -- wander, so histograms
+///        fluctuate while the IRB gate error stays deceptively flat.
+
+#include <cstdio>
+
+#include "device/calibration.hpp"
+#include "device/drift_model.hpp"
+#include "experiments/gate_designer.hpp"
+#include "experiments/irb_experiment.hpp"
+#include "experiments/report.hpp"
+#include "quantum/gates.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::experiments;
+
+    const device::BackendConfig nominal = device::ibmq_montreal();
+    const device::DriftModel drift(nominal, /*seed=*/2022);
+
+    // Optimize the sqrt(X) pulse ONCE against the nominal model.
+    GateDesignSpec spec;
+    spec.target = quantum::gates::sx();
+    spec.duration_dt = 736;
+    spec.n_timeslots = 48;
+    spec.use_y_control = false;
+    spec.model = DesignModel::kThreeLevelClosed;
+    const DesignedGate fixed_pulse =
+        design_1q_gate(device::nominal_model(nominal), 0, "sx", spec);
+    std::printf("sqrt(X) optimized once (model infidelity %.2e); now running it daily.\n\n",
+                fixed_pulse.model_fid_err);
+
+    rb::Clifford1Q group;
+    rb::RbOptions opts;
+    opts.lengths = {1, 300, 800, 1600, 2600};
+    opts.seeds_per_length = 6;
+    opts.shots = 4096;
+
+    std::printf("%-5s %-6s %-12s %-16s %-14s\n", "day", "jump?", "P(1) [%]",
+                "IRB gate error", "readout p01");
+    for (int day = 0; day < 7; ++day) {
+        const device::BackendConfig today = drift.device_on_day(day);
+        device::PulseExecutor dev(today);
+        // IBM recalibrates defaults daily; the custom pulse stays fixed.
+        const auto defaults = device::build_default_gates(dev);
+        const auto counts = state_histogram_1q(dev, defaults, "sx", 0,
+                                               &fixed_pulse.schedule, 4096, 100 + day);
+        const std::size_t sx_index = group.find(quantum::gates::sx());
+        const auto custom_sup = dev.schedule_superop_1q(fixed_pulse.schedule, 0);
+        const auto irb = rb::run_irb_1q(dev, rb::GateSet1Q(dev, defaults, 0, group), 0,
+                                        custom_sup, sx_index, opts);
+        std::printf("%-5d %-6s %-12.2f %-16s %-14.4f\n", day,
+                    drift.is_jump_day(day) ? "yes" : "no",
+                    100.0 * counts.probability("1"),
+                    format_error_rate(irb.gate_error, irb.gate_error_err).c_str(),
+                    today.qubit(0).readout_p01);
+    }
+    std::printf("\nNote the paper's conclusion: the histogram wanders day to day while\n"
+                "the IRB error barely moves -- IRB is SPAM-insensitive, so readout\n"
+                "drift is invisible to it.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/// \file characterize_backend.cpp
+/// \brief The daily characterization workflow: measure T1, T2* (Ramsey),
+///        T2 (echo) and the qubit detuning on the simulated backend, then
+///        run process tomography of the default X gate -- the data stream
+///        IBM's calibration publishes and the paper's drift study consumes.
+
+#include <cstdio>
+
+#include "device/characterization.hpp"
+#include "device/drift_model.hpp"
+#include "quantum/gates.hpp"
+#include "rb/tomography.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::device;
+
+    const DriftModel drift(ibmq_montreal(), 2026);
+    const BackendConfig today = drift.device_on_day(3);
+    PulseExecutor dev(today);
+    const auto defaults = build_default_gates(dev);
+
+    std::printf("characterizing %s (day 3 of the drift trajectory)\n\n",
+                today.name.c_str());
+
+    CharacterizationOptions opts;
+    opts.max_delay_ns = 3.0 * today.qubit(0).t1;
+    opts.shots = 8192;
+    const DecayFit t1 = measure_t1(dev, defaults, 0, opts);
+    std::printf("T1 (inversion recovery): %8.1f us  [device truth: %.1f us]\n",
+                t1.value / 1000.0, today.qubit(0).t1 / 1000.0);
+
+    // Ramsey window sized to today's (published) T2; dense sampling keeps
+    // the fringe above Nyquist.
+    CharacterizationOptions ropts;
+    ropts.max_delay_ns = 1.2 * today.qubit(0).t2;
+    ropts.n_points = 240;
+    ropts.shots = 8192;
+    double fringe = 0.0;
+    const double ramp = 2.0 * M_PI * 8.0e-5;
+    const DecayFit t2r = measure_t2_ramsey(dev, defaults, 0, ramp, &fringe, ropts);
+    std::printf("T2* (Ramsey)           : %8.1f us  [device truth: %.1f us]\n",
+                t2r.value / 1000.0, today.qubit(0).t2 / 1000.0);
+    std::printf("|qubit detuning|       : %8.1f kHz [device truth: %.1f kHz]\n",
+                std::abs(std::abs(fringe) - ramp) / (2.0 * M_PI) * 1e6,
+                std::abs(today.qubit(0).detuning) / (2.0 * M_PI) * 1e6);
+
+    CharacterizationOptions eopts = opts;
+    eopts.max_delay_ns = 2.0 * today.qubit(0).t2;
+    const DecayFit t2e = measure_t2_echo(dev, defaults, 0, eopts);
+    std::printf("T2 (Hahn echo)         : %8.1f us\n\n", t2e.value / 1000.0);
+
+    const auto x_super = dev.schedule_superop_1q(defaults.get("x", {0}), 0);
+    const auto tomo = rb::process_tomography_1q(dev, defaults, x_super,
+                                                quantum::gates::x(), 0, {.shots = 16384});
+    std::printf("process tomography of the default X gate:\n");
+    std::printf("  average gate fidelity : %.5f\n", tomo.avg_gate_fidelity);
+    std::printf("  unitarity             : %.5f\n", tomo.unitarity);
+    std::printf("  PTM diagonal          : %+0.3f %+0.3f %+0.3f %+0.3f\n",
+                tomo.ptm(0, 0).real(), tomo.ptm(1, 1).real(), tomo.ptm(2, 2).real(),
+                tomo.ptm(3, 3).real());
+    return 0;
+}

@@ -1,0 +1,53 @@
+/// \file cnot_cr_design.cpp
+/// \brief Two-qubit pulse design: synthesize a CNOT through the effective
+///        cross-resonance model (paper Eq. 3), execute it on the simulated
+///        device and compare against the default echoed-CR CX -- including
+///        the paper's Fig. 8 style state histograms.
+
+#include <cstdio>
+
+#include "device/calibration.hpp"
+#include "experiments/gate_designer.hpp"
+#include "experiments/irb_experiment.hpp"
+#include "experiments/report.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/gates.hpp"
+
+int main() {
+    using namespace qoc;
+    using namespace qoc::experiments;
+
+    device::PulseExecutor dev(device::ibmq_montreal());
+    const auto defaults = device::build_default_gates(dev);
+
+    // Channel-faithful CX design: controls are the physical channels D0, D1
+    // and the CR channel U0 (which mixes ZX with IX and crosstalk).
+    CxDesignSpec spec;
+    spec.duration_dt = 800;
+    spec.n_timeslots = 40;
+    const DesignedCx designed = design_cx_gate(device::nominal_model(dev.config()), spec);
+    std::printf("designed CX: %zu dt (%.0f ns), model infidelity %.2e\n",
+                designed.duration_dt,
+                static_cast<double>(designed.duration_dt) * dev.config().dt,
+                designed.model_fid_err);
+
+    // Direct fidelities on the device.
+    const auto custom_sup = dev.schedule_superop_2q(designed.schedule);
+    const auto default_sup = dev.schedule_superop_2q(defaults.get("cx", {0, 1}));
+    std::printf("device avg-gate fidelity: custom %.5f, default (echoed CR) %.5f\n",
+                quantum::average_gate_fidelity_superop(quantum::gates::cx(), custom_sup),
+                quantum::average_gate_fidelity_superop(quantum::gates::cx(), default_sup));
+
+    // Paper Fig. 8 style check: X on control then CX -> expect |11>.
+    print_histogram("x(0); cx(0,1) with the CUSTOM pulse",
+                    state_histogram_cx(dev, defaults, &designed.schedule, 4096, 5));
+    print_histogram("x(0); cx(0,1) with the DEFAULT pulse",
+                    state_histogram_cx(dev, defaults, nullptr, 4096, 6));
+
+    // Print the three channel waveforms (paper Fig. 9).
+    const std::size_t n = designed.schedule.total_duration();
+    print_waveform("D0", designed.schedule.channel_samples(pulse::drive_channel(0), n));
+    print_waveform("D1", designed.schedule.channel_samples(pulse::drive_channel(1), n));
+    print_waveform("U0", designed.schedule.channel_samples(pulse::control_channel(0), n));
+    return 0;
+}

@@ -1,0 +1,72 @@
+#include "control/crab.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "optim/nelder_mead.hpp"
+
+namespace qoc::control {
+
+CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& opts) {
+    const std::size_t n_ts = problem.n_timeslots;
+    const std::size_t n_ctrl = problem.system.ctrls.size();
+    const std::size_t n_basis = opts.n_basis;
+    const std::size_t n_params = n_ctrl * 2 * n_basis;
+
+    // Randomly detuned harmonics w_n = 2 pi (n + jitter) / T (per control).
+    std::mt19937_64 rng(opts.seed);
+    std::uniform_real_distribution<double> jitter(-opts.freq_jitter, opts.freq_jitter);
+    std::vector<std::vector<double>> freqs(n_ctrl, std::vector<double>(n_basis));
+    for (auto& row : freqs) {
+        for (std::size_t n = 0; n < n_basis; ++n) {
+            row[n] = 2.0 * std::numbers::pi * (static_cast<double>(n + 1) + jitter(rng)) /
+                     problem.evo_time;
+        }
+    }
+
+    const double dt = problem.evo_time / static_cast<double>(n_ts);
+
+    // Coefficients -> amplitude table, clipped to the hardware bounds.
+    auto build_amps = [&](const std::vector<double>& coeffs) {
+        ControlAmplitudes amps(n_ts, std::vector<double>(n_ctrl));
+        for (std::size_t k = 0; k < n_ts; ++k) {
+            const double t = (static_cast<double>(k) + 0.5) * dt;
+            for (std::size_t j = 0; j < n_ctrl; ++j) {
+                double mod = 1.0;
+                for (std::size_t n = 0; n < n_basis; ++n) {
+                    const double a = coeffs[(j * n_basis + n) * 2];
+                    const double b = coeffs[(j * n_basis + n) * 2 + 1];
+                    mod += a * std::sin(freqs[j][n] * t) + b * std::cos(freqs[j][n] * t);
+                }
+                amps[k][j] = std::clamp(problem.initial_amps[k][j] * mod, problem.amp_lower,
+                                        problem.amp_upper);
+            }
+        }
+        return amps;
+    };
+
+    optim::ScalarObjective obj = [&](const std::vector<double>& coeffs) {
+        return evaluate_fid_err(problem, build_amps(coeffs));
+    };
+
+    optim::NelderMeadOptions nm;
+    nm.max_evaluations = opts.max_evaluations;
+    nm.max_iterations = opts.max_iterations;
+    nm.initial_step = 0.1;
+
+    const auto opt = optim::nelder_mead_minimize(
+        obj, std::vector<double>(n_params, 0.0),
+        optim::Bounds::uniform(n_params, -opts.coeff_bound, opts.coeff_bound), nm);
+
+    CrabResult result;
+    result.initial_fid_err = evaluate_fid_err(problem, problem.initial_amps);
+    result.final_amps = build_amps(opt.x);
+    result.final_fid_err = opt.f;
+    result.evaluations = opt.evaluations;
+    result.reason = opt.reason;
+    return result;
+}
+
+}  // namespace qoc::control

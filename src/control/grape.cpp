@@ -1,0 +1,412 @@
+#include "control/grape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+
+namespace qoc::control {
+
+namespace {
+
+using linalg::cplx;
+constexpr cplx kI{0.0, 1.0};
+
+/// Shared machinery for closed/open GRAPE objective evaluation.
+class PwcEvaluator {
+public:
+    PwcEvaluator(const GrapeProblem& problem, bool open_system)
+        : prob_(problem), open_(open_system) {
+        n_ctrl_ = prob_.system.ctrls.size();
+        n_ts_ = prob_.n_timeslots;
+        if (n_ts_ == 0) throw std::invalid_argument("GRAPE: n_timeslots must be positive");
+        if (n_ctrl_ == 0) throw std::invalid_argument("GRAPE: need at least one control");
+        if (prob_.evo_time <= 0.0) throw std::invalid_argument("GRAPE: evo_time must be positive");
+        dt_ = prob_.evo_time / static_cast<double>(n_ts_);
+        if (prob_.initial_amps.size() != n_ts_) {
+            throw std::invalid_argument("GRAPE: initial_amps slot count mismatch");
+        }
+        for (const auto& slot : prob_.initial_amps) {
+            if (slot.size() != n_ctrl_) {
+                throw std::invalid_argument("GRAPE: initial_amps control count mismatch");
+            }
+        }
+        if (open_ && prob_.fidelity != FidelityType::kTraceDiff) {
+            throw std::invalid_argument("GRAPE (open): fidelity must be kTraceDiff");
+        }
+        if (!open_ && prob_.fidelity == FidelityType::kTraceDiff) {
+            throw std::invalid_argument("GRAPE (closed): use kPsu or kSu");
+        }
+
+        // Comparison matrix for the trace overlap: plain target, the target
+        // sandwiched into the big space by the subspace isometry, or the
+        // rank-one |psi_t><psi_0| operator for state transfer.
+        if (prob_.state_transfer) {
+            if (open_) {
+                throw std::invalid_argument("GRAPE: state transfer is closed-system only");
+            }
+            if (prob_.fidelity != FidelityType::kPsu) {
+                throw std::invalid_argument("GRAPE: state transfer requires kPsu");
+            }
+            const Mat& psi0 = prob_.state_transfer->psi_initial;
+            const Mat& psit = prob_.state_transfer->psi_target;
+            if (psi0.cols() != 1 || psit.cols() != 1 ||
+                psi0.rows() != prob_.system.drift.rows() || psit.rows() != psi0.rows()) {
+                throw std::invalid_argument("GRAPE: state-transfer ket shape mismatch");
+            }
+            // |<psi_t|U|psi_0>| = |Tr(M^dag U)| with M = |psi_t><psi_0|.
+            overlap_target_ = psit * psi0.adjoint();
+            norm_dim_ = 1.0;
+        } else if (prob_.subspace_isometry) {
+            if (open_) {
+                throw std::invalid_argument("GRAPE: subspace fidelity is closed-system only");
+            }
+            const Mat& p = *prob_.subspace_isometry;
+            if (p.rows() != prob_.system.drift.rows() || p.cols() != prob_.target.rows()) {
+                throw std::invalid_argument("GRAPE: isometry shape mismatch");
+            }
+            overlap_target_ = p * prob_.target * p.adjoint();
+            norm_dim_ = static_cast<double>(prob_.target.rows());
+        } else {
+            if (prob_.target.rows() != prob_.system.drift.rows()) {
+                throw std::invalid_argument("GRAPE: target dimension mismatch");
+            }
+            overlap_target_ = prob_.target;
+            norm_dim_ = static_cast<double>(prob_.target.rows());
+        }
+
+        // Pre-scale control generators into exponent directions.
+        const cplx scale = open_ ? cplx{dt_, 0.0} : (-kI * dt_);
+        for (const Mat& c : prob_.system.ctrls) exp_dirs_.push_back(scale * c);
+    }
+
+    std::size_t n_params() const { return n_ts_ * n_ctrl_; }
+    std::size_t n_ctrl() const { return n_ctrl_; }
+    std::size_t n_ts() const { return n_ts_; }
+    double dt() const { return dt_; }
+
+    ControlAmplitudes unflatten(const std::vector<double>& x) const {
+        ControlAmplitudes amps(n_ts_, std::vector<double>(n_ctrl_));
+        for (std::size_t k = 0; k < n_ts_; ++k)
+            for (std::size_t j = 0; j < n_ctrl_; ++j) amps[k][j] = x[k * n_ctrl_ + j];
+        return amps;
+    }
+
+    std::vector<double> flatten(const ControlAmplitudes& amps) const {
+        std::vector<double> x(n_params());
+        for (std::size_t k = 0; k < n_ts_; ++k)
+            for (std::size_t j = 0; j < n_ctrl_; ++j) x[k * n_ctrl_ + j] = amps[k][j];
+        return x;
+    }
+
+    /// Slot exponent `scale * (drift + sum u_j ctrl_j)`.
+    Mat slot_exponent(const std::vector<double>& amps) const {
+        const Mat gen = prob_.system.generator(amps);
+        return open_ ? Mat(dt_ * gen) : Mat((-kI * dt_) * gen);
+    }
+
+    /// Final evolution operator for an amplitude table.
+    Mat evolution(const ControlAmplitudes& amps) const {
+        Mat total = Mat::identity(prob_.system.drift.rows());
+        for (std::size_t k = 0; k < n_ts_; ++k) {
+            total = linalg::expm(slot_exponent(amps[k])) * total;
+        }
+        return total;
+    }
+
+    /// Fidelity error of a final evolution operator.
+    double fid_err_of(const Mat& evo) const {
+        switch (prob_.fidelity) {
+            case FidelityType::kPsu: {
+                const cplx g = linalg::hs_inner(overlap_target_, evo);
+                return 1.0 - std::norm(g) / (norm_dim_ * norm_dim_);
+            }
+            case FidelityType::kSu: {
+                const cplx g = linalg::hs_inner(overlap_target_, evo);
+                return 1.0 - g.real() / norm_dim_;
+            }
+            case FidelityType::kTraceDiff: {
+                const Mat diff = prob_.target - evo;
+                const double fro = diff.frobenius_norm();
+                return 0.5 * fro * fro / static_cast<double>(evo.rows());
+            }
+        }
+        return 1.0;
+    }
+
+    /// Full objective: fidelity error and its exact gradient.
+    double objective(const std::vector<double>& x, std::vector<double>& grad) const {
+        const ControlAmplitudes amps = unflatten(x);
+        const std::size_t dim = prob_.system.drift.rows();
+
+        // Per-slot propagators and their control derivatives.
+        std::vector<Mat> props(n_ts_);
+        std::vector<std::vector<Mat>> dprops(n_ts_, std::vector<Mat>(n_ctrl_));
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+        for (std::size_t k = 0; k < n_ts_; ++k) {
+            const Mat a = slot_exponent(amps[k]);
+            for (std::size_t j = 0; j < n_ctrl_; ++j) {
+                auto [ea, frechet] = linalg::expm_frechet(a, exp_dirs_[j]);
+                if (j == 0) props[k] = std::move(ea);
+                dprops[k][j] = std::move(frechet);
+            }
+        }
+
+        const auto fwd = dynamics::forward_products(props);
+        const auto bwd = dynamics::backward_products(props);
+        const Mat& evo = fwd.back();
+        const double err = fid_err_of(evo);
+
+        // Cost-side matrix C such that d(val)/du = Tr((fwd_{k-1} C bwd_k) dP).
+        Mat c_mat;
+        cplx g_overlap{0.0, 0.0};
+        if (prob_.fidelity == FidelityType::kTraceDiff) {
+            c_mat = (prob_.target - evo).adjoint();
+        } else {
+            g_overlap = linalg::hs_inner(overlap_target_, evo);
+            c_mat = overlap_target_.adjoint();
+        }
+
+        grad.assign(n_params(), 0.0);
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+        for (std::size_t k = 0; k < n_ts_; ++k) {
+            // R_k = fwd_{k-1} * C * bwd_k  (so Tr(C bwd dP fwd) = Tr(R dP)).
+            Mat r = (k == 0) ? Mat(c_mat * bwd[k]) : Mat(fwd[k - 1] * c_mat * bwd[k]);
+            for (std::size_t j = 0; j < n_ctrl_; ++j) {
+                cplx dg{0.0, 0.0};
+                const Mat& dp = dprops[k][j];
+                for (std::size_t a = 0; a < dim; ++a)
+                    for (std::size_t b = 0; b < dim; ++b) dg += r(a, b) * dp(b, a);
+                double derr = 0.0;
+                switch (prob_.fidelity) {
+                    case FidelityType::kPsu:
+                        derr = -2.0 * (std::conj(g_overlap) * dg).real() /
+                               (norm_dim_ * norm_dim_);
+                        break;
+                    case FidelityType::kSu:
+                        derr = -dg.real() / norm_dim_;
+                        break;
+                    case FidelityType::kTraceDiff:
+                        derr = -dg.real() / static_cast<double>(evo.rows());
+                        break;
+                }
+                grad[k * n_ctrl_ + j] = derr;
+            }
+        }
+        if (prob_.energy_penalty > 0.0) {
+            const double w = prob_.energy_penalty / static_cast<double>(n_params());
+            double penalty = 0.0;
+            for (std::size_t i = 0; i < n_params(); ++i) {
+                penalty += w * x[i] * x[i];
+                grad[i] += 2.0 * w * x[i];
+            }
+            return err + penalty;
+        }
+        return err;
+    }
+
+private:
+    const GrapeProblem& prob_;
+    bool open_;
+    std::size_t n_ctrl_ = 0;
+    std::size_t n_ts_ = 0;
+    double dt_ = 0.0;
+    double norm_dim_ = 1.0;
+    Mat overlap_target_;
+    std::vector<Mat> exp_dirs_;
+};
+
+GrapeResult run_lbfgsb(const GrapeProblem& problem, bool open_system,
+                       const optim::LbfgsBOptions& opts_in) {
+    PwcEvaluator eval(problem, open_system);
+
+    GrapeResult result;
+    result.initial_amps = problem.initial_amps;
+    result.initial_fid_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
+
+    optim::Objective obj = [&](const std::vector<double>& x, std::vector<double>& g) {
+        return eval.objective(x, g);
+    };
+
+    optim::LbfgsBOptions opts = opts_in;
+    auto user_cb = opts.callback;
+    opts.callback = [&](int it, double f, double pg) {
+        result.fid_err_history.push_back(f);
+        if (user_cb) user_cb(it, f, pg);
+    };
+
+    optim::Bounds bounds =
+        optim::Bounds::uniform(eval.n_params(), problem.amp_lower, problem.amp_upper);
+    if (!problem.amp_lower_per_ctrl.empty() || !problem.amp_upper_per_ctrl.empty()) {
+        const std::size_t n_ctrl = problem.system.ctrls.size();
+        if (problem.amp_lower_per_ctrl.size() != n_ctrl ||
+            problem.amp_upper_per_ctrl.size() != n_ctrl) {
+            throw std::invalid_argument("GRAPE: per-control bounds size mismatch");
+        }
+        for (std::size_t k = 0; k < eval.n_ts(); ++k) {
+            for (std::size_t j = 0; j < n_ctrl; ++j) {
+                bounds.lower[k * n_ctrl + j] = problem.amp_lower_per_ctrl[j];
+                bounds.upper[k * n_ctrl + j] = problem.amp_upper_per_ctrl[j];
+            }
+        }
+    }
+    const optim::OptimResult opt =
+        optim::lbfgsb_minimize(obj, eval.flatten(problem.initial_amps), bounds, opts);
+
+    result.final_amps = eval.unflatten(opt.x);
+    result.final_evolution = eval.evolution(result.final_amps);
+    result.final_fid_err = eval.fid_err_of(result.final_evolution);
+    result.iterations = opt.iterations;
+    result.evaluations = opt.evaluations;
+    result.reason = opt.reason;
+    return result;
+}
+
+}  // namespace
+
+GrapeResult grape_unitary(const GrapeProblem& problem, const optim::LbfgsBOptions& opts) {
+    return run_lbfgsb(problem, /*open_system=*/false, opts);
+}
+
+GrapeResult grape_lindblad(const GrapeProblem& problem, const optim::LbfgsBOptions& opts) {
+    return run_lbfgsb(problem, /*open_system=*/true, opts);
+}
+
+GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_rate,
+                                   int iterations) {
+    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
+    PwcEvaluator eval(problem, open_system);
+
+    GrapeResult result;
+    result.initial_amps = problem.initial_amps;
+    result.initial_fid_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
+
+    std::vector<double> x = eval.flatten(problem.initial_amps);
+    std::vector<double> grad;
+    double lr = learning_rate;
+    double prev_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
+    for (int it = 0; it < iterations; ++it) {
+        const double err = eval.objective(x, grad);
+        result.fid_err_history.push_back(err);
+        // Simple backtracking: a diverging fixed-rate step would overstate
+        // how slow first-order GRAPE is; halve the rate when the error rose.
+        if (err > prev_err && lr > 1e-6) lr *= 0.5;
+        prev_err = err;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            x[i] = std::clamp(x[i] - lr * grad[i], problem.amp_lower, problem.amp_upper);
+        }
+        ++result.evaluations;
+    }
+    result.iterations = iterations;
+    result.final_amps = eval.unflatten(x);
+    result.final_evolution = eval.evolution(result.final_amps);
+    result.final_fid_err = eval.fid_err_of(result.final_evolution);
+    result.reason = optim::StopReason::kMaxIterations;
+    return result;
+}
+
+RobustGrapeResult grape_robust(const GrapeProblem& problem,
+                               const std::vector<Mat>& ensemble_drifts,
+                               const std::vector<double>& weights,
+                               const optim::LbfgsBOptions& opts_in) {
+    if (ensemble_drifts.empty() || ensemble_drifts.size() != weights.size()) {
+        throw std::invalid_argument("grape_robust: ensemble/weights mismatch");
+    }
+    if (problem.fidelity == FidelityType::kTraceDiff) {
+        throw std::invalid_argument("grape_robust: closed-system only");
+    }
+    double wsum = 0.0;
+    for (double w : weights) wsum += w;
+    if (wsum <= 0.0) throw std::invalid_argument("grape_robust: weights must sum > 0");
+
+    // One problem (and evaluator) per ensemble member; they share the
+    // amplitude table.
+    std::vector<GrapeProblem> member_problems(ensemble_drifts.size(), problem);
+    std::vector<std::unique_ptr<PwcEvaluator>> evals;
+    for (std::size_t i = 0; i < ensemble_drifts.size(); ++i) {
+        member_problems[i].system.drift = problem.system.drift + ensemble_drifts[i];
+        member_problems[i].energy_penalty = 0.0;  // applied once, below
+        evals.push_back(std::make_unique<PwcEvaluator>(member_problems[i], false));
+    }
+
+    RobustGrapeResult result;
+    result.combined.initial_amps = problem.initial_amps;
+
+    optim::Objective obj = [&](const std::vector<double>& x, std::vector<double>& grad) {
+        grad.assign(x.size(), 0.0);
+        std::vector<double> g(x.size());
+        double err = 0.0;
+        for (std::size_t i = 0; i < evals.size(); ++i) {
+            const double w = weights[i] / wsum;
+            err += w * evals[i]->objective(x, g);
+            for (std::size_t k = 0; k < x.size(); ++k) grad[k] += w * g[k];
+        }
+        if (problem.energy_penalty > 0.0) {
+            const double pw = problem.energy_penalty / static_cast<double>(x.size());
+            for (std::size_t k = 0; k < x.size(); ++k) {
+                err += pw * x[k] * x[k];
+                grad[k] += 2.0 * pw * x[k];
+            }
+        }
+        return err;
+    };
+
+    optim::LbfgsBOptions opts = opts_in;
+    opts.callback = [&](int, double f, double) {
+        result.combined.fid_err_history.push_back(f);
+    };
+    const optim::Bounds bounds = optim::Bounds::uniform(
+        evals[0]->n_params(), problem.amp_lower, problem.amp_upper);
+    const optim::OptimResult opt =
+        optim::lbfgsb_minimize(obj, evals[0]->flatten(problem.initial_amps), bounds, opts);
+
+    result.combined.final_amps = evals[0]->unflatten(opt.x);
+    result.combined.iterations = opt.iterations;
+    result.combined.evaluations = opt.evaluations;
+    result.combined.reason = opt.reason;
+    double werr = 0.0, ierr = 0.0;
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        const double e = evals[i]->fid_err_of(evals[i]->evolution(result.combined.final_amps));
+        result.member_errors.push_back(e);
+        werr += weights[i] / wsum * e;
+        ierr += weights[i] / wsum *
+                evals[i]->fid_err_of(evals[i]->evolution(problem.initial_amps));
+    }
+    result.combined.initial_fid_err = ierr;
+    result.combined.final_fid_err = werr;
+    result.combined.final_evolution = evals[0]->evolution(result.combined.final_amps);
+    return result;
+}
+
+double evaluate_fid_err(const GrapeProblem& problem, const ControlAmplitudes& amps) {
+    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
+    GrapeProblem p = problem;
+    p.initial_amps = amps;
+    PwcEvaluator eval(p, open_system);
+    return eval.fid_err_of(eval.evolution(amps));
+}
+
+double evaluate_fid_err_and_grad(const GrapeProblem& problem, const ControlAmplitudes& amps,
+                                 std::vector<double>& grad) {
+    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
+    GrapeProblem p = problem;
+    p.initial_amps = amps;
+    PwcEvaluator eval(p, open_system);
+    return eval.objective(eval.flatten(amps), grad);
+}
+
+Mat evaluate_evolution(const GrapeProblem& problem, const ControlAmplitudes& amps) {
+    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
+    GrapeProblem p = problem;
+    p.initial_amps = amps;
+    PwcEvaluator eval(p, open_system);
+    return eval.evolution(amps);
+}
+
+}  // namespace qoc::control

@@ -1,0 +1,129 @@
+#include "control/krotov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+
+namespace qoc::control {
+
+namespace {
+using linalg::cplx;
+using linalg::Mat;
+constexpr cplx kI{0.0, 1.0};
+}  // namespace
+
+GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opts) {
+    if (problem.fidelity == FidelityType::kTraceDiff) {
+        throw std::invalid_argument("krotov_unitary: closed-system only");
+    }
+    if (problem.state_transfer) {
+        throw std::invalid_argument("krotov_unitary: use the gate functional");
+    }
+    if (opts.lambda <= 0.0) throw std::invalid_argument("krotov_unitary: lambda must be > 0");
+    const std::size_t n_ts = problem.n_timeslots;
+    const std::size_t n_ctrl = problem.system.ctrls.size();
+    if (n_ts == 0 || n_ctrl == 0 || problem.evo_time <= 0.0) {
+        throw std::invalid_argument("krotov_unitary: malformed problem");
+    }
+    if (problem.initial_amps.size() != n_ts) {
+        throw std::invalid_argument("krotov_unitary: initial_amps slot count mismatch");
+    }
+    const double dt = problem.evo_time / static_cast<double>(n_ts);
+    const std::size_t dim = problem.system.drift.rows();
+
+    // Overlap matrix and normalization (same conventions as GRAPE).
+    Mat overlap;
+    double norm_dim;
+    if (problem.subspace_isometry) {
+        const Mat& p = *problem.subspace_isometry;
+        overlap = p * problem.target * p.adjoint();
+        norm_dim = static_cast<double>(problem.target.rows());
+    } else {
+        overlap = problem.target;
+        norm_dim = static_cast<double>(problem.target.rows());
+    }
+
+    auto slot_propagator = [&](const std::vector<double>& amps) {
+        return linalg::expm((-kI * dt) * problem.system.generator(amps));
+    };
+    auto evolution = [&](const dynamics::ControlAmplitudes& amps) {
+        Mat u = Mat::identity(dim);
+        for (std::size_t k = 0; k < n_ts; ++k) u = slot_propagator(amps[k]) * u;
+        return u;
+    };
+    auto fid_err = [&](const Mat& u_final) {
+        const cplx tau = linalg::hs_inner(overlap, u_final);
+        if (problem.fidelity == FidelityType::kSu) return 1.0 - tau.real() / norm_dim;
+        return 1.0 - std::norm(tau) / (norm_dim * norm_dim);
+    };
+
+    GrapeResult result;
+    result.initial_amps = problem.initial_amps;
+    dynamics::ControlAmplitudes amps = problem.initial_amps;
+    result.initial_fid_err = fid_err(evolution(amps));
+    double err = result.initial_fid_err;
+    result.fid_err_history.push_back(err);
+
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+        // Forward propagators with the current (old) controls.
+        std::vector<Mat> props(n_ts);
+        for (std::size_t k = 0; k < n_ts; ++k) props[k] = slot_propagator(amps[k]);
+        Mat u_final = Mat::identity(dim);
+        for (std::size_t k = 0; k < n_ts; ++k) u_final = props[k] * u_final;
+
+        // Co-state boundary condition at T.
+        const cplx tau = linalg::hs_inner(overlap, u_final);
+        const cplx weight = (problem.fidelity == FidelityType::kSu)
+                                ? cplx{1.0 / (2.0 * norm_dim), 0.0}
+                                : tau / (norm_dim * norm_dim);
+        // chi(t) stored at slot starts: chi[k] = chi(t_k), k = 0..n_ts.
+        std::vector<Mat> chi(n_ts + 1);
+        chi[n_ts] = weight * overlap;
+        for (std::size_t k = n_ts; k-- > 0;) {
+            chi[k] = linalg::adjoint_times(props[k], chi[k + 1]);
+        }
+
+        // Sequential forward sweep with updated controls.
+        dynamics::ControlAmplitudes new_amps = amps;
+        Mat u = Mat::identity(dim);
+        for (std::size_t k = 0; k < n_ts; ++k) {
+            for (std::size_t j = 0; j < n_ctrl; ++j) {
+                // Im Tr(chi^dag H_j U) at the slot start, with U the evolution
+                // under the already-updated earlier slots.
+                const cplx val = linalg::hs_inner(chi[k], problem.system.ctrls[j] * u);
+                const double update = val.imag() / opts.lambda;
+                new_amps[k][j] = std::clamp(amps[k][j] + update, problem.amp_lower,
+                                            problem.amp_upper);
+            }
+            u = slot_propagator(new_amps[k]) * u;
+        }
+
+        const double new_err = fid_err(u);
+        result.fid_err_history.push_back(new_err);
+        const double delta = err - new_err;
+        amps = std::move(new_amps);
+        err = new_err;
+        ++result.iterations;
+        ++result.evaluations;
+        if (err <= opts.target_fid_err) {
+            result.reason = optim::StopReason::kTargetReached;
+            break;
+        }
+        if (delta >= 0.0 && delta < opts.delta_tol) {
+            result.reason = optim::StopReason::kFtolReached;
+            break;
+        }
+    }
+    if (result.iterations == opts.max_iterations) {
+        result.reason = optim::StopReason::kMaxIterations;
+    }
+
+    result.final_amps = amps;
+    result.final_evolution = evolution(amps);
+    result.final_fid_err = fid_err(result.final_evolution);
+    return result;
+}
+
+}  // namespace qoc::control

@@ -1,0 +1,37 @@
+/// \file krotov.hpp
+/// \brief Krotov's method for closed-system gate synthesis.
+///
+/// The other foundational quantum-optimal-control algorithm the paper cites
+/// (Goerz et al., SciPost Phys. 7, 80).  Unlike GRAPE's concurrent gradient
+/// update, Krotov updates the controls *sequentially in time* using
+/// backward-propagated co-states, which guarantees monotonic convergence of
+/// the objective for any positive step parameter lambda.
+///
+/// Discretized first-order update for the PSU gate functional
+/// F = |Tr(U_t^dag U)|^2 / d^2:
+///   chi_k(T)   = (tau / d^2) U_t |e_k>          (co-state boundary)
+///   chi_k(t)   : backward-propagated with the OLD controls
+///   psi_k(t)   : forward-propagated with the NEW controls (sequential)
+///   u_new_j(t) = u_old_j(t) + (1/lambda_j) Im sum_k <chi_k(t)|H_j|psi_k(t)>
+
+#pragma once
+
+#include "control/grape.hpp"
+
+namespace qoc::control {
+
+struct KrotovOptions {
+    double lambda = 1.0;        ///< inverse step size (> 0); larger = smaller steps
+    int max_iterations = 200;
+    double target_fid_err = 1e-10;
+    /// Stop when the per-iteration improvement drops below this.
+    double delta_tol = 1e-14;
+};
+
+/// Runs Krotov's method on a closed-system GrapeProblem (kPsu or kSu;
+/// subspace isometry supported; amplitude bounds enforced by clipping each
+/// sequential update).  Returns the same result type as GRAPE so the two
+/// plug into the same comparisons.
+GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& options = {});
+
+}  // namespace qoc::control

@@ -1,0 +1,91 @@
+#include "device/backend_config.hpp"
+
+#include <numbers>
+
+namespace qoc::device {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+QubitParams make_qubit(double freq_ghz, double t1_us, double t2_us) {
+    QubitParams q;
+    q.frequency_ghz = freq_ghz;
+    q.anharmonicity = -kTwoPi * 0.33;  // -330 MHz, typical IBM transmon
+    q.t1 = t1_us * 1000.0;
+    q.t2 = t2_us * 1000.0;
+    q.omega_max = 1.0;  // ~159 MHz peak Rabi at full drive amplitude
+    q.drive_amp_noise = 4.0e-3;  // multiplicative drive noise (see header)
+    return q;
+}
+}  // namespace
+
+BackendConfig ibmq_montreal() {
+    BackendConfig b;
+    b.name = "ibmq_montreal";
+    // Paper: QV 128, 27 qubits, average T1 = 86.76 us, qubit 0 at 4.911 GHz,
+    // average 1Q gate error 4.268e-4.  We model qubits 0 and 1.  The T1/T2
+    // assigned to qubit 0 exceed the 27-qubit device average (the paper's
+    // 86.76 us): experiment qubits are picked for coherence, and the paper's
+    // own IRB numbers (2e-4 for a 105 ns pulse) are only consistent with
+    // qubit-0 coherence well above the average.
+    b.device_average_t1_us = 86.76;
+    b.qubits = {make_qubit(4.911, 250.0, 380.0), make_qubit(5.021, 84.0, 68.0)};
+    b.qubits[0].readout_p10 = 0.016;
+    b.qubits[0].readout_p01 = 0.031;
+    b.qubits[1].readout_p10 = 0.020;
+    b.qubits[1].readout_p01 = 0.036;
+    return b;
+}
+
+BackendConfig ibmq_toronto() {
+    BackendConfig b;
+    b.name = "ibmq_toronto";
+    // Paper: QV 32, 27 qubits, average T1 = 83.52 us, qubit 0 at 5.225 GHz,
+    // average 1Q gate error 3.068e-4.  Qubit-0 coherence above the device
+    // average for the same reason as ibmq_montreal.
+    b.device_average_t1_us = 83.52;
+    b.qubits = {make_qubit(5.225, 230.0, 340.0), make_qubit(5.113, 80.0, 64.0)};
+    b.qubits[0].readout_p10 = 0.019;
+    b.qubits[0].readout_p01 = 0.034;
+    b.qubits[1].readout_p10 = 0.022;
+    b.qubits[1].readout_p01 = 0.038;
+    return b;
+}
+
+BackendConfig ibmq_boeblingen() {
+    BackendConfig b;
+    b.name = "ibmq_boeblingen";  // retired 20-qubit device (paper Fig. 8)
+    b.qubits = {make_qubit(4.830, 70.0, 55.0), make_qubit(4.945, 68.0, 52.0)};
+    b.qubits[0].readout_p10 = 0.030;
+    b.qubits[0].readout_p01 = 0.055;
+    b.qubits[1].readout_p10 = 0.035;
+    b.qubits[1].readout_p01 = 0.060;
+    // Older device: stronger spurious terms.
+    b.cr.zz_static = 3.5e-4;
+    b.cr.classical_crosstalk = 0.004;
+    return b;
+}
+
+BackendConfig ibmq_rome() {
+    BackendConfig b;
+    b.name = "ibmq_rome";  // 5-qubit Falcon (paper Fig. 8)
+    b.qubits = {make_qubit(4.969, 78.0, 62.0), make_qubit(4.774, 75.0, 60.0)};
+    b.qubits[0].readout_p10 = 0.022;
+    b.qubits[0].readout_p01 = 0.042;
+    b.qubits[1].readout_p10 = 0.025;
+    b.qubits[1].readout_p01 = 0.045;
+    b.cr.zz_static = 2.5e-4;
+    b.cr.classical_crosstalk = 0.003;
+    return b;
+}
+
+BackendConfig nominal_model(const BackendConfig& device) {
+    BackendConfig nominal = device;
+    for (QubitParams& q : nominal.qubits) {
+        q.detuning = 0.0;
+        q.amp_scale = 1.0;
+    }
+    return nominal;
+}
+
+}  // namespace qoc::device

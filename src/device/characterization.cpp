@@ -1,0 +1,132 @@
+#include "device/characterization.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "optim/levmar.hpp"
+#include "quantum/states.hpp"
+#include "quantum/superop.hpp"
+
+namespace qoc::device {
+
+namespace {
+
+using linalg::Mat;
+
+/// Applies gate superops around a variable idle and returns P(1) samples.
+/// `pre` runs before the idle, `mid` (optional) splits the idle in half
+/// (echo), `post` runs after.
+DecayFit sweep_delay(const PulseExecutor& device, const Mat* pre, const Mat* mid,
+                     const Mat* post, std::size_t qubit, double phase_ramp_rad_ns,
+                     const CharacterizationOptions& opts) {
+    DecayFit fit;
+    fit.delays_ns.resize(opts.n_points);
+    fit.probabilities.resize(opts.n_points);
+    const double dt = device.config().dt;
+    const Mat rho0 = device.ground_state_1q();
+    for (std::size_t i = 0; i < opts.n_points; ++i) {
+        const double delay_ns =
+            opts.max_delay_ns * static_cast<double>(i) / static_cast<double>(opts.n_points - 1);
+        const auto delay_dt = static_cast<std::size_t>(delay_ns / dt);
+        Mat rho = rho0;
+        if (pre) rho = quantum::apply_superop(*pre, rho);
+        if (mid) {
+            const Mat half = device.idle_superop_1q(delay_dt / 2, qubit);
+            rho = quantum::apply_superop(half, rho);
+            rho = quantum::apply_superop(*mid, rho);
+            rho = quantum::apply_superop(half, rho);
+        } else {
+            rho = quantum::apply_superop(device.idle_superop_1q(delay_dt, qubit), rho);
+        }
+        if (phase_ramp_rad_ns != 0.0) {
+            // Artificial Ramsey detuning as a delay-proportional virtual Z.
+            rho = quantum::apply_superop(
+                device.rz_superop_1q(phase_ramp_rad_ns * delay_ns), rho);
+        }
+        if (post) rho = quantum::apply_superop(*post, rho);
+        const Counts c = device.measure_1q(rho, qubit, opts.shots, opts.seed + i);
+        fit.delays_ns[i] = delay_ns;
+        fit.probabilities[i] = c.probability("1");
+    }
+    return fit;
+}
+
+}  // namespace
+
+DecayFit measure_t1(const PulseExecutor& device, const pulse::InstructionScheduleMap& defaults,
+                    std::size_t qubit, const CharacterizationOptions& opts) {
+    const Mat x_super = device.schedule_superop_1q(defaults.get("x", {qubit}), qubit);
+    DecayFit fit = sweep_delay(device, &x_super, nullptr, nullptr, qubit, 0.0, opts);
+
+    auto model = [&](std::size_t i, const std::vector<double>& p) {
+        return p[0] * std::exp(-fit.delays_ns[i] / p[1]) + p[2];
+    };
+    const auto lm = optim::levmar_fit(model, fit.delays_ns.size(), fit.probabilities,
+                                      {0.9, device.config().qubit(qubit).t1, 0.05});
+    fit.value = lm.params[1];
+    fit.stderr_ = lm.stderrs[1];
+    return fit;
+}
+
+DecayFit measure_t2_ramsey(const PulseExecutor& device,
+                           const pulse::InstructionScheduleMap& defaults, std::size_t qubit,
+                           double ramsey_detuning_rad_ns, double* fitted_detuning,
+                           const CharacterizationOptions& opts) {
+    const Mat sx_super = device.schedule_superop_1q(defaults.get("sx", {qubit}), qubit);
+    DecayFit fit = sweep_delay(device, &sx_super, nullptr, &sx_super, qubit,
+                               ramsey_detuning_rad_ns, opts);
+
+    // Seed the fringe frequency from zero crossings of the centered signal
+    // (the artificial ramp alone can be far from the true fringe when the
+    // qubit has drifted, and the cosine fit is multimodal).
+    double mean = 0.0;
+    for (double p1 : fit.probabilities) mean += p1;
+    mean /= static_cast<double>(fit.probabilities.size());
+    std::size_t crossings = 0;
+    for (std::size_t i = 1; i < fit.probabilities.size(); ++i) {
+        if ((fit.probabilities[i - 1] - mean) * (fit.probabilities[i] - mean) < 0.0) {
+            ++crossings;
+        }
+    }
+    const double span = fit.delays_ns.back() - fit.delays_ns.front();
+    double f_guess = ramsey_detuning_rad_ns;
+    if (crossings >= 2 && span > 0.0) {
+        f_guess = std::numbers::pi * static_cast<double>(crossings) / span;
+    }
+
+    // P1(t) = A exp(-t/T2*) cos(w t + phi) + B
+    auto model = [&](std::size_t i, const std::vector<double>& p) {
+        return p[0] * std::exp(-fit.delays_ns[i] / p[1]) *
+                   std::cos(p[2] * fit.delays_ns[i] + p[3]) +
+               p[4];
+    };
+    const auto lm = optim::levmar_fit(
+        model, fit.delays_ns.size(), fit.probabilities,
+        {0.45, device.config().qubit(qubit).t2, f_guess, 0.0, 0.5});
+    fit.value = lm.params[1];
+    fit.stderr_ = lm.stderrs[1];
+    if (fitted_detuning) *fitted_detuning = lm.params[2];
+    return fit;
+}
+
+DecayFit measure_t2_echo(const PulseExecutor& device,
+                         const pulse::InstructionScheduleMap& defaults, std::size_t qubit,
+                         const CharacterizationOptions& opts) {
+    const Mat sx_super = device.schedule_superop_1q(defaults.get("sx", {qubit}), qubit);
+    const Mat x_super = device.schedule_superop_1q(defaults.get("x", {qubit}), qubit);
+    DecayFit fit = sweep_delay(device, &sx_super, &x_super, &sx_super, qubit, 0.0, opts);
+
+    auto model = [&](std::size_t i, const std::vector<double>& p) {
+        return p[0] * std::exp(-fit.delays_ns[i] / p[1]) + p[2];
+    };
+    // Data-driven amplitude guess: the echo curve may start high or low
+    // depending on the net rotation's sign convention.
+    const double a0 = fit.probabilities.front() - 0.5;
+    const auto lm = optim::levmar_fit(model, fit.delays_ns.size(), fit.probabilities,
+                                      {a0, device.config().qubit(qubit).t2, 0.5});
+    fit.value = lm.params[1];
+    fit.stderr_ = lm.stderrs[1];
+    return fit;
+}
+
+}  // namespace qoc::device

@@ -1,0 +1,50 @@
+/// \file characterization.hpp
+/// \brief Standard qubit characterization experiments run against the pulse
+///        executor: T1 (inversion recovery), T2* (Ramsey, which also yields
+///        the detuning) and T2 echo.  These are the numbers IBM's daily
+///        calibration publishes and the drift studies consume.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/calibration.hpp"
+
+namespace qoc::device {
+
+struct DecayFit {
+    double value = 0.0;     ///< fitted time constant (ns) or frequency
+    double stderr_ = 0.0;   ///< 1-sigma uncertainty
+    std::vector<double> delays_ns;
+    std::vector<double> probabilities;
+};
+
+struct CharacterizationOptions {
+    std::size_t n_points = 25;
+    double max_delay_ns = 300'000.0;  ///< sweep end (ns)
+    int shots = 2048;
+    std::uint64_t seed = 17;
+};
+
+/// T1 via inversion recovery: X pulse, variable delay, measure P(1);
+/// fit A exp(-t/T1) + B.
+DecayFit measure_t1(const PulseExecutor& device, const pulse::InstructionScheduleMap& defaults,
+                    std::size_t qubit, const CharacterizationOptions& options = {});
+
+/// Ramsey: sx, delay, sx, measure.  With an artificial detuning
+/// `ramsey_detuning_rad_ns` applied as a virtual-Z ramp, P(1) oscillates at
+/// (detuning + qubit drift detuning) and decays at T2*.  Returns the T2 fit;
+/// `fitted_detuning` receives the oscillation frequency (rad/ns).
+DecayFit measure_t2_ramsey(const PulseExecutor& device,
+                           const pulse::InstructionScheduleMap& defaults, std::size_t qubit,
+                           double ramsey_detuning_rad_ns, double* fitted_detuning,
+                           const CharacterizationOptions& options = {});
+
+/// Hahn echo: sx, delay/2, x, delay/2, sx; decays at T2 (echoes away the
+/// static detuning).
+DecayFit measure_t2_echo(const PulseExecutor& device,
+                         const pulse::InstructionScheduleMap& defaults, std::size_t qubit,
+                         const CharacterizationOptions& options = {});
+
+}  // namespace qoc::device

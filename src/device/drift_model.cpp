@@ -1,0 +1,59 @@
+#include "device/drift_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace qoc::device {
+
+DriftModel::DriftModel(BackendConfig nominal, std::uint64_t seed, DriftOptions options)
+    : nominal_(std::move(nominal)), seed_(seed), opts_(options) {}
+
+bool DriftModel::is_jump_day(int day) const {
+    // Mirrors the qubit-0 draw sequence in device_on_day exactly.
+    std::mt19937_64 rng(seed_ ^
+                        (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(day + 1)) ^
+                        0x94d049bb133111ebULL);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    return u(rng) < opts_.jump_probability;
+}
+
+BackendConfig DriftModel::device_on_day(int day) const {
+    BackendConfig dev = nominal_;
+    if (day < 0) return dev;
+
+    // Evolve each qubit's parameters as an AR(1) walk replayed from day 0 so
+    // that the trajectory is deterministic and day-correlated.
+    for (std::size_t q = 0; q < dev.qubits.size(); ++q) {
+        double detuning = 0.0;
+        double log_amp = 0.0;
+        double log_t1 = 0.0;
+        double log_ro = 0.0;
+        for (int d = 0; d <= day; ++d) {
+            std::mt19937_64 rng(seed_ ^ (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(d + 1)) ^
+                                (0x94d049bb133111ebULL * (q + 1)));
+            std::normal_distribution<double> n(0.0, 1.0);
+            std::uniform_real_distribution<double> u(0.0, 1.0);
+            const bool jump = u(rng) < opts_.jump_probability;
+            const double scale = jump ? opts_.jump_scale : 1.0;
+            const double ar = opts_.mean_reversion;
+            detuning = ar * detuning + scale * opts_.freq_sigma * n(rng);
+            log_amp = ar * log_amp + scale * opts_.amp_sigma * n(rng);
+            log_t1 = ar * log_t1 + scale * opts_.t1_rel_sigma * n(rng);
+            log_ro = ar * log_ro + scale * opts_.readout_rel_sigma * n(rng);
+        }
+        QubitParams& p = dev.qubits[q];
+        // Clamp to physical excursions: frequency within ~1 MHz, amplitude
+        // within ~6%, T1/T2 within a factor ~1.5 of nominal.
+        p.detuning = std::clamp(detuning, -6e-3, 6e-3);
+        p.amp_scale = std::exp(std::clamp(log_amp, -0.06, 0.06));
+        const double t1_factor = std::exp(std::clamp(log_t1, -0.4, 0.4));
+        p.t1 = nominal_.qubits[q].t1 * t1_factor;
+        p.t2 = std::min(nominal_.qubits[q].t2 * t1_factor, 2.0 * p.t1);
+        p.readout_p10 = std::clamp(nominal_.qubits[q].readout_p10 * std::exp(log_ro), 1e-4, 0.3);
+        p.readout_p01 = std::clamp(nominal_.qubits[q].readout_p01 * std::exp(log_ro), 1e-4, 0.3);
+    }
+    return dev;
+}
+
+}  // namespace qoc::device

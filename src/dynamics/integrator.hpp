@@ -1,0 +1,46 @@
+/// \file integrator.hpp
+/// \brief Adaptive Runge-Kutta (Dormand-Prince 5(4)) integrator for matrix
+///        ODEs, used as an independent cross-check of the PWC propagators
+///        and for smooth (non-PWC) drive envelopes.
+
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace qoc::dynamics {
+
+using linalg::Mat;
+
+/// Right-hand side of dX/dt = f(t, X); X is a ket, density matrix or
+/// vectorized state.
+using MatrixRhs = std::function<Mat(double t, const Mat& x)>;
+
+struct IntegratorOptions {
+    double rtol = 1e-9;
+    double atol = 1e-11;
+    double initial_step = 1e-3;
+    double min_step = 1e-12;
+    std::size_t max_steps = 2'000'000;
+};
+
+struct IntegrationResult {
+    Mat state;
+    std::size_t steps_taken = 0;
+    std::size_t steps_rejected = 0;
+};
+
+/// Integrates dX/dt = rhs(t, X) from (t0, x0) to t1 with adaptive
+/// Dormand-Prince 5(4).  Throws `std::runtime_error` when the step size
+/// underflows or the step budget is exhausted.
+IntegrationResult integrate_rk45(const MatrixRhs& rhs, const Mat& x0, double t0, double t1,
+                                 const IntegratorOptions& options = {});
+
+/// Convenience: evolves a density matrix under a time-dependent Hamiltonian
+/// and fixed collapse operators (the paper's Eq. 1) using RK45.
+Mat evolve_master_equation(const std::function<Mat(double)>& hamiltonian,
+                           const std::vector<Mat>& collapse_ops, const Mat& rho0, double t0,
+                           double t1, const IntegratorOptions& options = {});
+
+}  // namespace qoc::dynamics

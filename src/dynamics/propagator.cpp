@@ -1,0 +1,79 @@
+#include "dynamics/propagator.hpp"
+
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+
+namespace qoc::dynamics {
+
+namespace {
+using linalg::cplx;
+constexpr cplx kI{0.0, 1.0};
+
+void check_amps(const PwcSystem& sys, const ControlAmplitudes& amps) {
+    for (const auto& slot : amps) {
+        if (slot.size() != sys.ctrls.size()) {
+            throw std::invalid_argument("pwc propagators: amplitude/control count mismatch");
+        }
+    }
+}
+}  // namespace
+
+Mat PwcSystem::generator(const std::vector<double>& amps) const {
+    if (amps.size() != ctrls.size()) {
+        throw std::invalid_argument("PwcSystem::generator: amplitude count mismatch");
+    }
+    Mat g = drift;
+    for (std::size_t j = 0; j < ctrls.size(); ++j) g += amps[j] * ctrls[j];
+    return g;
+}
+
+std::vector<Mat> pwc_unitary_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,
+                                         double dt) {
+    check_amps(sys, amps);
+    std::vector<Mat> props;
+    props.reserve(amps.size());
+    for (const auto& slot : amps) {
+        props.push_back(linalg::expm((-kI * dt) * sys.generator(slot)));
+    }
+    return props;
+}
+
+std::vector<Mat> pwc_superop_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,
+                                         double dt) {
+    check_amps(sys, amps);
+    std::vector<Mat> props;
+    props.reserve(amps.size());
+    for (const auto& slot : amps) {
+        props.push_back(linalg::expm(dt * sys.generator(slot)));
+    }
+    return props;
+}
+
+Mat chain_product(const std::vector<Mat>& props) {
+    if (props.empty()) throw std::invalid_argument("chain_product: empty chain");
+    Mat total = props.front();
+    for (std::size_t k = 1; k < props.size(); ++k) total = props[k] * total;
+    return total;
+}
+
+std::vector<Mat> forward_products(const std::vector<Mat>& props) {
+    std::vector<Mat> fwd;
+    fwd.reserve(props.size());
+    for (std::size_t k = 0; k < props.size(); ++k) {
+        fwd.push_back(k == 0 ? props[0] : props[k] * fwd[k - 1]);
+    }
+    return fwd;
+}
+
+std::vector<Mat> backward_products(const std::vector<Mat>& props) {
+    const std::size_t n = props.size();
+    std::vector<Mat> bwd(n);
+    bwd[n - 1] = Mat::identity(props[0].rows());
+    for (std::size_t k = n - 1; k-- > 0;) {
+        bwd[k] = bwd[k + 1] * props[k + 1];
+    }
+    return bwd;
+}
+
+}  // namespace qoc::dynamics

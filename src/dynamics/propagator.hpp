@@ -1,0 +1,54 @@
+/// \file propagator.hpp
+/// \brief Piecewise-constant (PWC) propagators for closed and open systems.
+///
+/// GRAPE discretizes the controls into timeslots with constant amplitudes;
+/// each slot's propagator is a single matrix exponential of the (closed)
+/// Hamiltonian or the (open) Liouvillian.  These helpers build the per-slot
+/// propagators and their ordered products.
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qoc::dynamics {
+
+using linalg::Mat;
+
+/// Control amplitudes: `amps[k][j]` is the amplitude of control `j` during
+/// timeslot `k`.
+using ControlAmplitudes = std::vector<std::vector<double>>;
+
+/// A bilinear control system `H(t) = H_0 + sum_j u_j(t) H_j` (closed) or
+/// `L(t) = L_0 + sum_j u_j(t) L_j` (open, generators already in superoperator
+/// form).  The same struct serves both; `generator(k)` assembles the slot
+/// generator.
+struct PwcSystem {
+    Mat drift;                ///< H_0 or L_0
+    std::vector<Mat> ctrls;   ///< H_j or L_j
+
+    /// Slot generator `drift + sum_j amps[j] * ctrls[j]`.
+    Mat generator(const std::vector<double>& amps) const;
+};
+
+/// Per-slot unitary propagators `P_k = exp(-i dt (H_0 + sum u_jk H_j))`.
+std::vector<Mat> pwc_unitary_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,
+                                         double dt);
+
+/// Per-slot open-system propagators `P_k = exp(dt (L_0 + sum u_jk L_j))`.
+/// The generators are the (non-Hermitian) Liouvillians themselves.
+std::vector<Mat> pwc_superop_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,
+                                         double dt);
+
+/// Ordered product `P_N ... P_2 P_1` (time-ordered evolution).
+Mat chain_product(const std::vector<Mat>& props);
+
+/// Forward partial products: `fwd[k] = P_k ... P_1` for k = 0..N-1.
+std::vector<Mat> forward_products(const std::vector<Mat>& props);
+
+/// Backward partial products: `bwd[k] = P_N ... P_{k+2}` for k = 0..N-1
+/// (so that total = bwd[k] * P_{k+1} * fwd[k-1]).  `bwd[N-1]` is identity.
+std::vector<Mat> backward_products(const std::vector<Mat>& props);
+
+}  // namespace qoc::dynamics

@@ -1,0 +1,107 @@
+#include "experiments/irb_experiment.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "quantum/gates.hpp"
+
+namespace qoc::experiments {
+
+namespace {
+namespace g = quantum::gates;
+using linalg::Mat;
+
+Mat ideal_1q(const std::string& gate_name) {
+    if (gate_name == "x") return g::x();
+    if (gate_name == "sx") return g::sx();
+    if (gate_name == "h") return g::h();
+    throw std::invalid_argument("irb_experiment: unsupported gate " + gate_name);
+}
+}  // namespace
+
+Mat default_gate_superop_1q(const PulseExecutor& device,
+                            const pulse::InstructionScheduleMap& defaults,
+                            const std::string& gate_name, std::size_t qubit) {
+    if (defaults.has(gate_name, {qubit})) {
+        return device.schedule_superop_1q(defaults.get(gate_name, {qubit}), qubit);
+    }
+    if (gate_name == "h") {
+        // Hardware H: rz(pi/2) sx rz(pi/2) (virtual Z + one physical pulse).
+        const Mat sx_super = device.schedule_superop_1q(defaults.get("sx", {qubit}), qubit);
+        const Mat rz_super = device.rz_superop_1q(std::numbers::pi / 2.0);
+        return rz_super * sx_super * rz_super;
+    }
+    throw std::invalid_argument("irb_experiment: no default for gate " + gate_name);
+}
+
+GateComparison compare_1q_gate(const PulseExecutor& device,
+                               const pulse::InstructionScheduleMap& defaults,
+                               const std::string& gate_name, std::size_t qubit,
+                               const pulse::Schedule& custom_schedule,
+                               const rb::Clifford1Q& group, const rb::RbOptions& options) {
+    const rb::GateSet1Q gates(device, defaults, qubit, group);
+    const std::size_t cliff_index = group.find(ideal_1q(gate_name));
+
+    const Mat custom_super = device.schedule_superop_1q(custom_schedule, qubit);
+    const Mat default_super = default_gate_superop_1q(device, defaults, gate_name, qubit);
+
+    GateComparison cmp;
+    cmp.gate = gate_name;
+    cmp.custom = rb::run_irb_1q(device, gates, qubit, custom_super, cliff_index, options);
+    cmp.standard = rb::run_irb_1q(device, gates, qubit, default_super, cliff_index, options);
+    if (cmp.standard.gate_error > 0.0) {
+        cmp.improvement_percent =
+            100.0 * (cmp.standard.gate_error - cmp.custom.gate_error) / cmp.standard.gate_error;
+    }
+    return cmp;
+}
+
+GateComparison compare_cx_gate(const PulseExecutor& device,
+                               const pulse::InstructionScheduleMap& defaults,
+                               const pulse::Schedule& custom_schedule,
+                               const rb::Clifford1Q& c1, const rb::Clifford2Q& c2,
+                               const rb::RbOptions& options) {
+    const rb::GateSet2Q gates(device, defaults, c2);
+    const std::size_t cliff_index = c2.find(g::cx());
+
+    const Mat custom_super = device.schedule_superop_2q(custom_schedule);
+    const Mat default_super = device.schedule_superop_2q(defaults.get("cx", {0, 1}));
+
+    GateComparison cmp;
+    cmp.gate = "cx";
+    cmp.custom = rb::run_irb_2q(device, gates, custom_super, cliff_index, options);
+    cmp.standard = rb::run_irb_2q(device, gates, default_super, cliff_index, options);
+    if (cmp.standard.gate_error > 0.0) {
+        cmp.improvement_percent =
+            100.0 * (cmp.standard.gate_error - cmp.custom.gate_error) / cmp.standard.gate_error;
+    }
+    return cmp;
+}
+
+device::Counts state_histogram_1q(const PulseExecutor& device,
+                                  const pulse::InstructionScheduleMap& defaults,
+                                  const std::string& gate_name, std::size_t qubit,
+                                  const pulse::Schedule* custom_schedule, int shots,
+                                  std::uint64_t seed) {
+    pulse::QuantumCircuit qc(qubit + 1);
+    if (custom_schedule != nullptr) {
+        qc.add_calibration(gate_name, {qubit}, *custom_schedule);
+    }
+    qc.gate(gate_name, {qubit});
+    qc.measure(qubit);
+    return device::run_circuit_1q(device, qc, defaults, qubit, shots, seed);
+}
+
+device::Counts state_histogram_cx(const PulseExecutor& device,
+                                  const pulse::InstructionScheduleMap& defaults,
+                                  const pulse::Schedule* custom_cx, int shots,
+                                  std::uint64_t seed) {
+    pulse::QuantumCircuit qc(2);
+    if (custom_cx != nullptr) {
+        qc.add_calibration("cx", {0, 1}, *custom_cx);
+    }
+    qc.x(0).cx(0, 1).measure_all();
+    return device::run_circuit_2q(device, qc, defaults, shots, seed);
+}
+
+}  // namespace qoc::experiments

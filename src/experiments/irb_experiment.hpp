@@ -1,0 +1,65 @@
+/// \file irb_experiment.hpp
+/// \brief The paper's characterization protocol packaged end-to-end:
+///        interleaved randomized benchmarking of a custom pulse gate vs the
+///        backend default, plus prepare-and-measure histograms.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "device/calibration.hpp"
+#include "rb/rb.hpp"
+
+namespace qoc::experiments {
+
+using device::PulseExecutor;
+
+/// One row of the paper's Tables 1/2.
+struct GateComparison {
+    std::string gate;
+    rb::IrbResult custom;     ///< IRB of the optimized-pulse gate
+    rb::IrbResult standard;   ///< IRB of the default gate
+    double improvement_percent = 0.0;  ///< (default - custom)/default * 100
+};
+
+/// Runs IRB for a custom single-qubit gate calibration against the default
+/// implementation of the same gate.  `gate_name` must be "x", "sx" or "h".
+/// The ideal action is looked up in the Clifford group (all three are
+/// Cliffords).  H defaults to the rz-sx-rz decomposition when the backend
+/// has no native H schedule, exactly like the hardware.
+GateComparison compare_1q_gate(const PulseExecutor& device,
+                               const pulse::InstructionScheduleMap& defaults,
+                               const std::string& gate_name, std::size_t qubit,
+                               const pulse::Schedule& custom_schedule,
+                               const rb::Clifford1Q& group, const rb::RbOptions& options);
+
+/// IRB comparison for CX (custom vs default schedule).
+GateComparison compare_cx_gate(const PulseExecutor& device,
+                               const pulse::InstructionScheduleMap& defaults,
+                               const pulse::Schedule& custom_schedule,
+                               const rb::Clifford1Q& c1, const rb::Clifford2Q& c2,
+                               const rb::RbOptions& options);
+
+/// Prepare-and-measure experiment: applies one gate (custom calibration or
+/// default) to |0> and returns the shot histogram -- the paper's
+/// probability-distribution panels.
+device::Counts state_histogram_1q(const PulseExecutor& device,
+                                  const pulse::InstructionScheduleMap& defaults,
+                                  const std::string& gate_name, std::size_t qubit,
+                                  const pulse::Schedule* custom_schedule, int shots,
+                                  std::uint64_t seed);
+
+/// Two-qubit version: runs x(0); cx(0,1) (expected |11>) and returns counts.
+device::Counts state_histogram_cx(const PulseExecutor& device,
+                                  const pulse::InstructionScheduleMap& defaults,
+                                  const pulse::Schedule* custom_cx, int shots,
+                                  std::uint64_t seed);
+
+/// The superoperator of a default gate name on the device ("h" composed from
+/// rz-sx-rz when uncalibrated), used to interleave defaults in IRB.
+linalg::Mat default_gate_superop_1q(const PulseExecutor& device,
+                                    const pulse::InstructionScheduleMap& defaults,
+                                    const std::string& gate_name, std::size_t qubit);
+
+}  // namespace qoc::experiments

@@ -1,0 +1,38 @@
+/// \file io.hpp
+/// \brief Serialization of pulses, schedules and benchmarking results to
+///        CSV, so designs can be archived, replayed across "days" and
+///        plotted externally -- the workflow the paper's multi-day drift
+///        experiments require (optimize once, re-run for a week).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dynamics/propagator.hpp"
+#include "pulse/schedule.hpp"
+#include "rb/rb.hpp"
+
+namespace qoc::io {
+
+/// Writes control amplitudes as CSV: header `slot,u0,u1,...`, one row per
+/// timeslot.
+void write_amplitudes_csv(std::ostream& os, const dynamics::ControlAmplitudes& amps);
+
+/// Reads amplitudes back.  Throws `std::runtime_error` on malformed input
+/// (ragged rows, non-numeric cells, missing header).
+dynamics::ControlAmplitudes read_amplitudes_csv(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_amplitudes(const std::string& path, const dynamics::ControlAmplitudes& amps);
+dynamics::ControlAmplitudes load_amplitudes(const std::string& path);
+
+/// Writes a channel's complex samples as CSV: `t_dt,re,im`.
+void write_samples_csv(std::ostream& os, const std::vector<std::complex<double>>& samples);
+std::vector<std::complex<double>> read_samples_csv(std::istream& is);
+
+/// Writes an RB curve: `length,survival,sem,fit` plus a comment header with
+/// the fit parameters and EPC.
+void write_rb_curve_csv(std::ostream& os, const rb::RbCurve& curve);
+
+}  // namespace qoc::io

@@ -1,0 +1,127 @@
+#include "linalg/expm.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eig_hermitian.hpp"
+#include "linalg/lu.hpp"
+
+namespace qoc::linalg {
+
+namespace {
+
+/// Evaluates the order-m Pade approximant r_m(A) = q_m(A)^{-1} p_m(A) given
+/// the coefficient table; even/odd splitting per Higham.
+Mat pade_eval(const Mat& a, const double* b, int m) {
+    const std::size_t n = a.rows();
+    const Mat ident = Mat::identity(n);
+    const Mat a2 = a * a;
+
+    // U = A * (sum over odd coefficients), V = sum over even coefficients.
+    Mat u_poly(n, n), v_poly(n, n);
+    if (m == 13) {
+        const Mat a4 = a2 * a2;
+        const Mat a6 = a4 * a2;
+        const Mat u_hi = a6 * (b[13] * a6 + b[11] * a4 + b[9] * a2);
+        const Mat u_lo = b[7] * a6 + b[5] * a4 + b[3] * a2 + b[1] * ident;
+        u_poly = a * (u_hi + u_lo);
+        const Mat v_hi = a6 * (b[12] * a6 + b[10] * a4 + b[8] * a2);
+        v_poly = v_hi + b[6] * a6 + b[4] * a4 + b[2] * a2 + b[0] * ident;
+    } else {
+        // Orders 3, 5, 7, 9: direct Horner over powers of A^2.
+        Mat a_pow = ident;
+        Mat usum = b[1] * ident;
+        Mat vsum = b[0] * ident;
+        for (int k = 1; 2 * k <= m; ++k) {
+            a_pow = a_pow * a2;
+            usum += b[2 * k + 1] * a_pow;
+            vsum += b[2 * k] * a_pow;
+        }
+        u_poly = a * usum;
+        v_poly = vsum;
+    }
+    // r_m(A) = (V - U)^{-1} (V + U)
+    return solve(v_poly - u_poly, v_poly + u_poly);
+}
+
+constexpr std::array<double, 4> kPade3 = {120.0, 60.0, 12.0, 1.0};
+constexpr std::array<double, 6> kPade5 = {30240.0, 15120.0, 3360.0, 420.0, 30.0, 1.0};
+constexpr std::array<double, 8> kPade7 = {17297280.0, 8648640.0, 1995840.0, 277200.0,
+                                          25200.0,    1512.0,    56.0,      1.0};
+constexpr std::array<double, 10> kPade9 = {17643225600.0, 8821612800.0, 2075673600.0,
+                                           302702400.0,   30270240.0,   2162160.0,
+                                           110880.0,      3960.0,       90.0,
+                                           1.0};
+constexpr std::array<double, 14> kPade13 = {64764752532480000.0,
+                                            32382376266240000.0,
+                                            7771770303897600.0,
+                                            1187353796428800.0,
+                                            129060195264000.0,
+                                            10559470521600.0,
+                                            670442572800.0,
+                                            33522128640.0,
+                                            1323241920.0,
+                                            40840800.0,
+                                            960960.0,
+                                            16380.0,
+                                            182.0,
+                                            1.0};
+
+// theta_m thresholds from Higham (2005), Table 2.3.
+constexpr double kTheta3 = 1.495585217958292e-2;
+constexpr double kTheta5 = 2.539398330063230e-1;
+constexpr double kTheta7 = 9.504178996162932e-1;
+constexpr double kTheta9 = 2.097847961257068e0;
+constexpr double kTheta13 = 5.371920351148152e0;
+
+}  // namespace
+
+Mat expm(const Mat& a) {
+    if (!a.is_square()) throw std::invalid_argument("expm: non-square matrix");
+    const double nrm = a.norm_1();
+
+    if (nrm <= kTheta3) return pade_eval(a, kPade3.data(), 3);
+    if (nrm <= kTheta5) return pade_eval(a, kPade5.data(), 5);
+    if (nrm <= kTheta7) return pade_eval(a, kPade7.data(), 7);
+    if (nrm <= kTheta9) return pade_eval(a, kPade9.data(), 9);
+
+    // Scaling and squaring with Pade 13.
+    int s = 0;
+    double scaled = nrm;
+    while (scaled > kTheta13) {
+        scaled *= 0.5;
+        ++s;
+    }
+    Mat a_scaled = a;
+    a_scaled *= std::ldexp(1.0, -s);
+    Mat r = pade_eval(a_scaled, kPade13.data(), 13);
+    for (int k = 0; k < s; ++k) r = r * r;
+    return r;
+}
+
+std::pair<Mat, Mat> expm_frechet(const Mat& a, const Mat& e) {
+    if (!a.is_square() || a.rows() != e.rows() || a.cols() != e.cols()) {
+        throw std::invalid_argument("expm_frechet: shape mismatch");
+    }
+    const std::size_t n = a.rows();
+    Mat aug(2 * n, 2 * n);
+    aug.set_block(0, 0, a);
+    aug.set_block(0, n, e);
+    aug.set_block(n, n, a);
+    const Mat big = expm(aug);
+    return {big.block(0, 0, n, n), big.block(0, n, n, n)};
+}
+
+Mat expm_hermitian(const Mat& h, double t) {
+    const EigH e = eig_hermitian(h);
+    const std::size_t n = h.rows();
+    Mat d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double phi = -e.eigenvalues[i] * t;
+        d(i, i) = cplx{std::cos(phi), std::sin(phi)};
+    }
+    return e.eigenvectors * d * e.eigenvectors.adjoint();
+}
+
+}  // namespace qoc::linalg

@@ -1,0 +1,31 @@
+/// \file expm.hpp
+/// \brief Matrix exponential (Higham Pade 13 scaling-and-squaring) and the
+///        Van Loan augmented-block directional derivative used for exact
+///        GRAPE gradients.
+
+#pragma once
+
+#include <utility>
+
+#include "linalg/matrix.hpp"
+
+namespace qoc::linalg {
+
+/// Matrix exponential `e^A` for a general complex square matrix, via
+/// scaling-and-squaring with Pade approximants of order 3/5/7/9/13
+/// (Higham 2005).
+Mat expm(const Mat& a);
+
+/// Frechet derivative `L(A, E) = d/ds e^{A + sE} |_{s=0}` computed with the
+/// Van Loan augmented block
+///   expm([[A, E], [0, A]]) = [[e^A, L(A,E)], [0, e^A]].
+/// Returns `{e^A, L(A, E)}`.  Valid for any (also non-Hermitian) generator,
+/// which is what open-system GRAPE needs.
+std::pair<Mat, Mat> expm_frechet(const Mat& a, const Mat& e);
+
+/// Unitary propagator `exp(-i H t)` of a Hermitian `H` via its spectrum.
+/// More accurate than generic expm for strongly scaled Hamiltonians and
+/// reuses a cached eigendecomposition when stepping many times.
+Mat expm_hermitian(const Mat& h, double t);
+
+}  // namespace qoc::linalg

@@ -1,0 +1,45 @@
+#include "linalg/kron.hpp"
+
+#include <stdexcept>
+
+namespace qoc::linalg {
+
+Mat kron(const Mat& a, const Mat& b) {
+    Mat out(a.rows() * b.rows(), a.cols() * b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            const cplx aij = a(i, j);
+            if (aij == cplx{0.0, 0.0}) continue;
+            for (std::size_t p = 0; p < b.rows(); ++p)
+                for (std::size_t q = 0; q < b.cols(); ++q)
+                    out(i * b.rows() + p, j * b.cols() + q) = aij * b(p, q);
+        }
+    }
+    return out;
+}
+
+Mat kron_all(const std::vector<Mat>& factors) {
+    if (factors.empty()) throw std::invalid_argument("kron_all: no factors");
+    Mat out = factors.front();
+    for (std::size_t k = 1; k < factors.size(); ++k) out = kron(out, factors[k]);
+    return out;
+}
+
+Mat vec(const Mat& a) {
+    Mat v(a.rows() * a.cols(), 1);
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < a.cols(); ++j)
+        for (std::size_t i = 0; i < a.rows(); ++i) v(k++, 0) = a(i, j);
+    return v;
+}
+
+Mat unvec(const Mat& v, std::size_t n) {
+    if (v.cols() != 1 || v.rows() != n * n) throw std::invalid_argument("unvec: bad shape");
+    Mat a(n, n);
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < n; ++i) a(i, j) = v(k++, 0);
+    return a;
+}
+
+}  // namespace qoc::linalg

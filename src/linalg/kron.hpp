@@ -1,0 +1,25 @@
+/// \file kron.hpp
+/// \brief Kronecker (tensor) products and multi-factor helpers.
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qoc::linalg {
+
+/// Kronecker product `a (x) b`.
+Mat kron(const Mat& a, const Mat& b);
+
+/// Left-to-right Kronecker product of all factors.  Requires at least one.
+Mat kron_all(const std::vector<Mat>& factors);
+
+/// Column-major vectorization `vec(A)` stacking columns (the convention under
+/// which `vec(A X B) = (B^T (x) A) vec(X)`), as a column vector.
+Mat vec(const Mat& a);
+
+/// Inverse of `vec` for a square target of dimension `n`.
+Mat unvec(const Mat& v, std::size_t n);
+
+}  // namespace qoc::linalg

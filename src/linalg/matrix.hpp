@@ -1,0 +1,164 @@
+/// \file matrix.hpp
+/// \brief Dense complex matrix type used throughout qoc.
+///
+/// Quantum-control workloads in this library manipulate small dense complex
+/// matrices (Hamiltonians up to ~9x9, Liouvillian superoperators up to
+/// ~81x81, Van Loan augmented blocks up to ~162x162).  A purpose-built dense
+/// type with value semantics keeps the numerics transparent and dependency
+/// free; throughput-critical parallelism lives at the ensemble level
+/// (randomized-benchmarking sequences, parameter sweeps), not inside these
+/// kernels.
+
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <stdexcept>
+#include <vector>
+
+namespace qoc::linalg {
+
+using cplx = std::complex<double>;
+
+/// Dense row-major complex matrix with value semantics.
+///
+/// Invariants: `data().size() == rows() * cols()`.  A default-constructed
+/// matrix is the unique 0x0 empty matrix.
+class Mat {
+public:
+    /// Creates the empty 0x0 matrix.
+    Mat() = default;
+
+    /// Creates a `rows` x `cols` matrix of zeros.
+    Mat(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+    /// Creates a matrix from a nested brace list, e.g. `Mat{{{1,0},{0,1}}}`.
+    /// Throws `std::invalid_argument` on ragged rows.
+    Mat(std::initializer_list<std::initializer_list<cplx>> init);
+
+    /// Builds a `rows` x `cols` matrix wrapping `values` (row-major).
+    /// Throws `std::invalid_argument` on size mismatch.
+    Mat(std::size_t rows, std::size_t cols, std::vector<cplx> values);
+
+    /// The `n` x `n` identity.
+    static Mat identity(std::size_t n);
+
+    /// A `rows` x `cols` matrix of zeros (alias of the size constructor,
+    /// kept for call-site readability).
+    static Mat zeros(std::size_t rows, std::size_t cols) { return Mat(rows, cols); }
+
+    /// Column vector from entries.
+    static Mat col_vector(std::vector<cplx> entries);
+
+    /// Diagonal matrix from entries.
+    static Mat diag(const std::vector<cplx>& entries);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    std::size_t size() const noexcept { return data_.size(); }
+    bool empty() const noexcept { return data_.empty(); }
+    bool is_square() const noexcept { return rows_ == cols_; }
+
+    cplx& operator()(std::size_t i, std::size_t j) {
+        assert(i < rows_ && j < cols_);
+        return data_[i * cols_ + j];
+    }
+    const cplx& operator()(std::size_t i, std::size_t j) const {
+        assert(i < rows_ && j < cols_);
+        return data_[i * cols_ + j];
+    }
+
+    /// Bounds-checked access; throws `std::out_of_range`.
+    cplx& at(std::size_t i, std::size_t j);
+    const cplx& at(std::size_t i, std::size_t j) const;
+
+    std::vector<cplx>& data() noexcept { return data_; }
+    const std::vector<cplx>& data() const noexcept { return data_; }
+
+    // --- in-place arithmetic -------------------------------------------------
+    Mat& operator+=(const Mat& rhs);
+    Mat& operator-=(const Mat& rhs);
+    Mat& operator*=(cplx scalar);
+    Mat& operator*=(double scalar);
+
+    // --- structural transforms ----------------------------------------------
+    /// Conjugate transpose (dagger).
+    Mat adjoint() const;
+    /// Plain transpose.
+    Mat transpose() const;
+    /// Element-wise complex conjugate.
+    Mat conj() const;
+
+    /// Sum of diagonal entries.  Requires a square matrix.
+    cplx trace() const;
+
+    /// Frobenius norm `sqrt(sum |a_ij|^2)`.
+    double frobenius_norm() const;
+
+    /// Largest entry magnitude (max norm).
+    double max_abs() const;
+
+    /// Induced 1-norm (max absolute column sum); used by expm scaling.
+    double norm_1() const;
+
+    /// True when `|a_ij - a_ji^*| <= tol` for all entries.
+    bool is_hermitian(double tol = 1e-12) const;
+
+    /// True when `A^dagger A = I` within `tol` (max-abs of the residual).
+    bool is_unitary(double tol = 1e-10) const;
+
+    /// True when all entries of `this - rhs` have magnitude <= tol.
+    bool approx_equal(const Mat& rhs, double tol = 1e-12) const;
+
+    /// Extracts the contiguous block of shape `nr` x `nc` at `(r0, c0)`.
+    Mat block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const;
+
+    /// Writes `b` into this matrix at offset `(r0, c0)`.
+    void set_block(std::size_t r0, std::size_t c0, const Mat& b);
+
+    /// Column `j` as a column vector.
+    Mat col(std::size_t j) const;
+    /// Row `i` as a row vector.
+    Mat row(std::size_t i) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<cplx> data_;
+};
+
+// --- free arithmetic ---------------------------------------------------------
+Mat operator+(Mat lhs, const Mat& rhs);
+Mat operator-(Mat lhs, const Mat& rhs);
+Mat operator-(const Mat& m);
+Mat operator*(Mat m, cplx scalar);
+Mat operator*(cplx scalar, Mat m);
+Mat operator*(Mat m, double scalar);
+Mat operator*(double scalar, Mat m);
+
+/// Matrix product; throws `std::invalid_argument` on shape mismatch.
+Mat operator*(const Mat& a, const Mat& b);
+
+/// `a^dagger * b` without forming the adjoint.
+Mat adjoint_times(const Mat& a, const Mat& b);
+
+/// `tr(a^dagger * b)` (Hilbert-Schmidt inner product) without forming the product.
+cplx hs_inner(const Mat& a, const Mat& b);
+
+/// Commutator `[a, b] = ab - ba`.
+Mat commutator(const Mat& a, const Mat& b);
+
+/// Anticommutator `{a, b} = ab + ba`.
+Mat anticommutator(const Mat& a, const Mat& b);
+
+/// Human-readable rendering (for diagnostics and examples).
+std::ostream& operator<<(std::ostream& os, const Mat& m);
+
+/// True when `a = e^{i phi} b` for some global phase, within `tol`.
+bool equal_up_to_phase(const Mat& a, const Mat& b, double tol = 1e-9);
+
+}  // namespace qoc::linalg

@@ -1,0 +1,174 @@
+#include "optim/levmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoc::optim {
+
+namespace {
+
+/// Solves the (small, symmetric positive-ish) normal system by Gaussian
+/// elimination with partial pivoting.  Returns false when singular.
+bool solve_dense(std::vector<double> a, std::vector<double> b, std::size_t n,
+                 std::vector<double>& x) {
+    std::vector<std::size_t> piv(n);
+    for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t p = k;
+        double best = std::abs(a[k * n + k]);
+        for (std::size_t i = k + 1; i < n; ++i)
+            if (std::abs(a[i * n + k]) > best) {
+                best = std::abs(a[i * n + k]);
+                p = i;
+            }
+        if (best < 1e-300) return false;
+        if (p != k) {
+            for (std::size_t j = 0; j < n; ++j) std::swap(a[k * n + j], a[p * n + j]);
+            std::swap(b[k], b[p]);
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double m = a[i * n + k] / a[k * n + k];
+            for (std::size_t j = k; j < n; ++j) a[i * n + j] -= m * a[k * n + j];
+            b[i] -= m * b[k];
+        }
+    }
+    x.assign(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = b[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) s -= a[ii * n + j] * x[j];
+        x[ii] = s / a[ii * n + ii];
+    }
+    return true;
+}
+
+}  // namespace
+
+LevMarResult levmar_fit(const LsqModel& model, std::size_t n_samples,
+                        const std::vector<double>& y, std::vector<double> p0,
+                        const std::vector<double>& sigma, const LevMarOptions& opts) {
+    if (y.size() != n_samples) throw std::invalid_argument("levmar_fit: y size mismatch");
+    if (!sigma.empty() && sigma.size() != n_samples) {
+        throw std::invalid_argument("levmar_fit: sigma size mismatch");
+    }
+    const std::size_t np = p0.size();
+    if (np == 0 || n_samples < np) {
+        throw std::invalid_argument("levmar_fit: under-determined problem");
+    }
+
+    auto weight = [&](std::size_t i) { return sigma.empty() ? 1.0 : 1.0 / sigma[i]; };
+
+    auto residuals = [&](const std::vector<double>& p, std::vector<double>& r) {
+        double chi2 = 0.0;
+        r.resize(n_samples);
+        for (std::size_t i = 0; i < n_samples; ++i) {
+            r[i] = (y[i] - model(i, p)) * weight(i);
+            chi2 += r[i] * r[i];
+        }
+        return chi2;
+    };
+
+    auto jacobian = [&](const std::vector<double>& p, std::vector<double>& jac) {
+        jac.assign(n_samples * np, 0.0);
+        std::vector<double> pp = p;
+        for (std::size_t j = 0; j < np; ++j) {
+            const double h = opts.fd_step * std::max(1.0, std::abs(p[j]));
+            pp[j] = p[j] + h;
+            std::vector<double> plus(n_samples), minus(n_samples);
+            for (std::size_t i = 0; i < n_samples; ++i) plus[i] = model(i, pp);
+            pp[j] = p[j] - h;
+            for (std::size_t i = 0; i < n_samples; ++i) minus[i] = model(i, pp);
+            pp[j] = p[j];
+            for (std::size_t i = 0; i < n_samples; ++i) {
+                // d(residual)/dp = -d(model)/dp * weight
+                jac[i * np + j] = -(plus[i] - minus[i]) / (2.0 * h) * weight(i);
+            }
+        }
+    };
+
+    LevMarResult res;
+    res.params = std::move(p0);
+    std::vector<double> r;
+    res.chi2 = residuals(res.params, r);
+    double lambda = opts.lambda0;
+    std::vector<double> jac, jtj(np * np), jtr(np), step;
+
+    for (res.iterations = 0; res.iterations < opts.max_iterations; ++res.iterations) {
+        jacobian(res.params, jac);
+        std::fill(jtj.begin(), jtj.end(), 0.0);
+        std::fill(jtr.begin(), jtr.end(), 0.0);
+        for (std::size_t i = 0; i < n_samples; ++i) {
+            for (std::size_t a = 0; a < np; ++a) {
+                jtr[a] += jac[i * np + a] * r[i];
+                for (std::size_t b = a; b < np; ++b) {
+                    jtj[a * np + b] += jac[i * np + a] * jac[i * np + b];
+                }
+            }
+        }
+        for (std::size_t a = 0; a < np; ++a)
+            for (std::size_t b = 0; b < a; ++b) jtj[a * np + b] = jtj[b * np + a];
+
+        double gmax = 0.0;
+        for (double v : jtr) gmax = std::max(gmax, std::abs(v));
+        if (gmax < opts.g_tol) {
+            res.converged = true;
+            break;
+        }
+
+        bool stepped = false;
+        for (int tries = 0; tries < 40; ++tries) {
+            std::vector<double> damped = jtj;
+            for (std::size_t a = 0; a < np; ++a) damped[a * np + a] += lambda * jtj[a * np + a];
+            // Newton step solves (J^T J + lambda diag) dp = -J^T r.
+            std::vector<double> rhs(np);
+            for (std::size_t a = 0; a < np; ++a) rhs[a] = -jtr[a];
+            if (!solve_dense(damped, rhs, np, step)) {
+                lambda *= 10.0;
+                continue;
+            }
+            std::vector<double> trial = res.params;
+            for (std::size_t a = 0; a < np; ++a) trial[a] += step[a];
+            std::vector<double> rt;
+            const double chi2_t = residuals(trial, rt);
+            if (chi2_t < res.chi2) {
+                const double rel = (res.chi2 - chi2_t) / std::max(res.chi2, 1e-300);
+                res.params = std::move(trial);
+                r = std::move(rt);
+                res.chi2 = chi2_t;
+                lambda = std::max(lambda * 0.3, 1e-12);
+                stepped = true;
+                if (rel < opts.f_tol) res.converged = true;
+                break;
+            }
+            lambda *= 10.0;
+            if (lambda > 1e12) break;
+        }
+        if (!stepped || res.converged) {
+            res.converged = res.converged || !stepped;
+            break;
+        }
+    }
+
+    // Covariance = reduced_chi2 * (J^T J)^{-1}; stderr = sqrt(diagonal).
+    const double dof = static_cast<double>(n_samples - np);
+    res.reduced_chi2 = dof > 0 ? res.chi2 / dof : 0.0;
+    jacobian(res.params, jac);
+    std::fill(jtj.begin(), jtj.end(), 0.0);
+    for (std::size_t i = 0; i < n_samples; ++i)
+        for (std::size_t a = 0; a < np; ++a)
+            for (std::size_t b = 0; b < np; ++b)
+                jtj[a * np + b] += jac[i * np + a] * jac[i * np + b];
+    res.stderrs.assign(np, 0.0);
+    // Invert J^T J column by column.
+    for (std::size_t col = 0; col < np; ++col) {
+        std::vector<double> e(np, 0.0), x;
+        e[col] = 1.0;
+        if (solve_dense(jtj, e, np, x)) {
+            const double var = std::max(0.0, x[col]) * std::max(res.reduced_chi2, 0.0);
+            res.stderrs[col] = std::sqrt(var);
+        }
+    }
+    return res;
+}
+
+}  // namespace qoc::optim

@@ -1,0 +1,46 @@
+/// \file levmar.hpp
+/// \brief Levenberg-Marquardt nonlinear least squares with parameter
+///        uncertainties, used to fit randomized-benchmarking decay curves
+///        `A * alpha^m + B` and Rabi oscillations.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "optim/problem.hpp"
+
+namespace qoc::optim {
+
+/// Model function: predicted value at sample `i` given parameters `p`.
+using LsqModel = std::function<double(std::size_t i, const std::vector<double>& p)>;
+
+struct LevMarOptions {
+    int max_iterations = 200;
+    double f_tol = 1e-12;       ///< relative chi^2 decrease tolerance
+    double g_tol = 1e-12;       ///< gradient max-norm tolerance
+    double lambda0 = 1e-3;      ///< initial damping
+    double fd_step = 1e-7;      ///< relative finite-difference step for J
+};
+
+struct LevMarResult {
+    std::vector<double> params;
+    std::vector<double> stderrs;   ///< 1-sigma parameter uncertainties
+    double chi2 = 0.0;             ///< sum of squared weighted residuals
+    double reduced_chi2 = 0.0;     ///< chi2 / (n_samples - n_params)
+    int iterations = 0;
+    bool converged = false;
+};
+
+/// Fits `model` to samples (`y`, optional `sigma` weights) by minimizing
+/// sum_i ((y_i - model(i, p)) / sigma_i)^2.  The Jacobian is computed by
+/// central finite differences.  Parameter standard errors come from the
+/// covariance (J^T J)^{-1} scaled by the reduced chi^2 (the convention used
+/// by standard curve-fitting packages, matching how the paper's IRB error
+/// bars are produced).
+LevMarResult levmar_fit(const LsqModel& model, std::size_t n_samples,
+                        const std::vector<double>& y, std::vector<double> p0,
+                        const std::vector<double>& sigma = {},
+                        const LevMarOptions& options = {});
+
+}  // namespace qoc::optim

@@ -1,0 +1,122 @@
+#include "optim/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qoc::optim {
+
+OptimResult nelder_mead_minimize(const ScalarObjective& objective, std::vector<double> x0,
+                                 const Bounds& bounds, const NelderMeadOptions& opts) {
+    const std::size_t n = x0.size();
+    bounds.clip(x0);
+
+    // Adaptive parameters (Gao & Han 2012) improve behaviour for larger n.
+    const double nd = static_cast<double>(n);
+    const double alpha = 1.0;
+    const double beta = 1.0 + 2.0 / nd;   // expansion
+    const double gamma = 0.75 - 1.0 / (2.0 * nd);  // contraction
+    const double delta = 1.0 - 1.0 / nd;  // shrink
+
+    OptimResult res;
+    int evals = 0;
+    auto feval = [&](std::vector<double>& x) {
+        bounds.clip(x);
+        ++evals;
+        return objective(x);
+    };
+
+    // Initial simplex: x0 plus per-coordinate steps.
+    std::vector<std::vector<double>> simplex(n + 1, x0);
+    std::vector<double> fvals(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        double step = opts.initial_step;
+        if (simplex[i + 1][i] + step > bounds.upper[i]) step = -step;
+        simplex[i + 1][i] += step;
+    }
+    for (std::size_t i = 0; i <= n; ++i) fvals[i] = feval(simplex[i]);
+
+    std::vector<std::size_t> order(n + 1);
+    for (res.iterations = 0; res.iterations < opts.max_iterations; ++res.iterations) {
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+        const std::size_t best = order[0], worst = order[n], second_worst = order[n - 1];
+
+        // Convergence: simplex small in x and in f.
+        double xspread = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            xspread = std::max(xspread, std::abs(simplex[worst][i] - simplex[best][i]));
+        }
+        const double fspread = std::abs(fvals[worst] - fvals[best]);
+        if (xspread < opts.x_tol && fspread < opts.f_tol) {
+            res.reason = StopReason::kConverged;
+            break;
+        }
+        if (evals >= opts.max_evaluations) {
+            res.reason = StopReason::kMaxEvaluations;
+            break;
+        }
+
+        // Centroid of all but the worst point.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t k = 0; k <= n; ++k) {
+            if (k == worst) continue;
+            for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[k][i];
+        }
+        for (double& v : centroid) v /= nd;
+
+        auto affine = [&](double coef) {
+            std::vector<double> x(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                x[i] = centroid[i] + coef * (centroid[i] - simplex[worst][i]);
+            }
+            return x;
+        };
+
+        std::vector<double> xr = affine(alpha);
+        const double fr = feval(xr);
+        if (fr < fvals[best]) {
+            std::vector<double> xe = affine(alpha * beta);
+            const double fe = feval(xe);
+            if (fe < fr) {
+                simplex[worst] = std::move(xe);
+                fvals[worst] = fe;
+            } else {
+                simplex[worst] = std::move(xr);
+                fvals[worst] = fr;
+            }
+        } else if (fr < fvals[second_worst]) {
+            simplex[worst] = std::move(xr);
+            fvals[worst] = fr;
+        } else {
+            const bool outside = fr < fvals[worst];
+            std::vector<double> xc = affine(outside ? alpha * gamma : -gamma);
+            const double fc = feval(xc);
+            if (fc < std::min(fr, fvals[worst])) {
+                simplex[worst] = std::move(xc);
+                fvals[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t k = 0; k <= n; ++k) {
+                    if (k == best) continue;
+                    for (std::size_t i = 0; i < n; ++i) {
+                        simplex[k][i] =
+                            simplex[best][i] + delta * (simplex[k][i] - simplex[best][i]);
+                    }
+                    fvals[k] = feval(simplex[k]);
+                }
+            }
+        }
+    }
+    if (res.iterations == opts.max_iterations) res.reason = StopReason::kMaxIterations;
+
+    const std::size_t best =
+        std::min_element(fvals.begin(), fvals.end()) - fvals.begin();
+    res.x = simplex[best];
+    res.f = fvals[best];
+    res.evaluations = evals;
+    return res;
+}
+
+}  // namespace qoc::optim

@@ -1,0 +1,27 @@
+/// \file nelder_mead.hpp
+/// \brief Derivative-free Nelder-Mead simplex search with box constraints.
+///
+/// Used as the inner optimizer for the CRAB baseline (the paper notes CRAB's
+/// "direct search approach makes the convergence very slow" -- this is the
+/// direct search in question).
+
+#pragma once
+
+#include "optim/problem.hpp"
+
+namespace qoc::optim {
+
+struct NelderMeadOptions {
+    int max_iterations = 2000;
+    int max_evaluations = 10000;
+    double x_tol = 1e-8;   ///< simplex diameter tolerance
+    double f_tol = 1e-10;  ///< spread of simplex values tolerance
+    double initial_step = 0.1;  ///< initial simplex edge length
+};
+
+/// Minimizes `objective` with the adaptive Nelder-Mead simplex method.
+/// Box constraints are enforced by clipping trial points into the box.
+OptimResult nelder_mead_minimize(const ScalarObjective& objective, std::vector<double> x0,
+                                 const Bounds& bounds, const NelderMeadOptions& options = {});
+
+}  // namespace qoc::optim

@@ -1,0 +1,34 @@
+#include "optim/problem.hpp"
+
+#include <algorithm>
+
+namespace qoc::optim {
+
+void Bounds::clip(std::vector<double>& x) const {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (i < lower.size()) x[i] = std::max(x[i], lower[i]);
+        if (i < upper.size()) x[i] = std::min(x[i], upper[i]);
+    }
+}
+
+bool Bounds::contains(const std::vector<double>& x) const {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (i < lower.size() && x[i] < lower[i]) return false;
+        if (i < upper.size() && x[i] > upper[i]) return false;
+    }
+    return true;
+}
+
+std::string to_string(StopReason reason) {
+    switch (reason) {
+        case StopReason::kConverged: return "converged (projected gradient tolerance)";
+        case StopReason::kFtolReached: return "converged (objective decrease tolerance)";
+        case StopReason::kMaxIterations: return "max iterations reached";
+        case StopReason::kMaxEvaluations: return "max function evaluations reached";
+        case StopReason::kLineSearchFailed: return "line search failed";
+        case StopReason::kTargetReached: return "target objective reached";
+    }
+    return "unknown";
+}
+
+}  // namespace qoc::optim

@@ -1,0 +1,73 @@
+/// \file problem.hpp
+/// \brief Common types for the numerical optimizers.
+
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qoc::optim {
+
+/// Smooth objective: returns f(x) and fills `grad` (resized by the caller to
+/// x.size()).
+using Objective = std::function<double(const std::vector<double>& x, std::vector<double>& grad)>;
+
+/// Objective for derivative-free methods.
+using ScalarObjective = std::function<double(const std::vector<double>& x)>;
+
+/// Box bounds.  Empty vectors mean unbounded on that side.
+struct Bounds {
+    std::vector<double> lower;  ///< elementwise lower bound, or empty
+    std::vector<double> upper;  ///< elementwise upper bound, or empty
+
+    static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    /// Unbounded problem of dimension n.
+    static Bounds unbounded(std::size_t n) {
+        Bounds b;
+        b.lower.assign(n, -kInf);
+        b.upper.assign(n, kInf);
+        return b;
+    }
+
+    /// Uniform box [lo, hi]^n.
+    static Bounds uniform(std::size_t n, double lo, double hi) {
+        Bounds b;
+        b.lower.assign(n, lo);
+        b.upper.assign(n, hi);
+        return b;
+    }
+
+    /// Clips x into the box in place.
+    void clip(std::vector<double>& x) const;
+
+    /// True when l <= x <= u holds elementwise.
+    bool contains(const std::vector<double>& x) const;
+};
+
+/// Why an optimizer stopped.
+enum class StopReason {
+    kConverged,        ///< gradient / simplex tolerance reached
+    kFtolReached,      ///< relative objective decrease below ftol
+    kMaxIterations,    ///< iteration budget exhausted
+    kMaxEvaluations,   ///< function-evaluation budget exhausted
+    kLineSearchFailed, ///< no acceptable step found
+    kTargetReached,    ///< objective fell below the user's goal
+};
+
+/// Human-readable stop reason (for logs and reports).
+std::string to_string(StopReason reason);
+
+/// Outcome shared by the smooth optimizers.
+struct OptimResult {
+    std::vector<double> x;      ///< final iterate
+    double f = 0.0;             ///< objective at x
+    double grad_norm = 0.0;     ///< max-norm of the projected gradient
+    int iterations = 0;
+    int evaluations = 0;
+    StopReason reason = StopReason::kMaxIterations;
+};
+
+}  // namespace qoc::optim

@@ -1,0 +1,21 @@
+#include "pulse/channels.hpp"
+
+namespace qoc::pulse {
+
+std::string Channel::label() const {
+    const char* prefix = "?";
+    switch (type) {
+        case ChannelType::kDrive: prefix = "D"; break;
+        case ChannelType::kControl: prefix = "U"; break;
+        case ChannelType::kAcquire: prefix = "A"; break;
+        case ChannelType::kMeasure: prefix = "M"; break;
+    }
+    return std::string(prefix) + std::to_string(index);
+}
+
+Channel drive_channel(std::size_t qubit) { return {ChannelType::kDrive, qubit}; }
+Channel control_channel(std::size_t index) { return {ChannelType::kControl, index}; }
+Channel acquire_channel(std::size_t qubit) { return {ChannelType::kAcquire, qubit}; }
+Channel measure_channel(std::size_t qubit) { return {ChannelType::kMeasure, qubit}; }
+
+}  // namespace qoc::pulse

@@ -1,0 +1,44 @@
+/// \file channels.hpp
+/// \brief Pulse channels in the OpenPulse sense: drive, control (for
+///        cross-resonance on multi-qubit gates), acquire and measure.
+
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace qoc::pulse {
+
+enum class ChannelType {
+    kDrive,    ///< D<i>: microwave drive of qubit i at its frequency
+    kControl,  ///< U<i>: cross-resonance drive (control qubit at target freq)
+    kAcquire,  ///< A<i>: readout acquisition
+    kMeasure,  ///< M<i>: measurement stimulus
+};
+
+/// A typed, indexed channel (e.g. DriveChannel(0) = "D0").
+struct Channel {
+    ChannelType type = ChannelType::kDrive;
+    std::size_t index = 0;
+
+    auto operator<=>(const Channel&) const = default;
+
+    /// Qiskit-style label: D0, U1, A0, M0.
+    std::string label() const;
+};
+
+Channel drive_channel(std::size_t qubit);
+Channel control_channel(std::size_t index);
+Channel acquire_channel(std::size_t qubit);
+Channel measure_channel(std::size_t qubit);
+
+}  // namespace qoc::pulse
+
+template <>
+struct std::hash<qoc::pulse::Channel> {
+    std::size_t operator()(const qoc::pulse::Channel& c) const noexcept {
+        return std::hash<std::size_t>{}(c.index * 4 + static_cast<std::size_t>(c.type));
+    }
+};

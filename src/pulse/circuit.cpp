@@ -1,0 +1,103 @@
+#include "pulse/circuit.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace qoc::pulse {
+
+QuantumCircuit& QuantumCircuit::gate(const std::string& name, std::vector<std::size_t> qubits,
+                                     std::optional<double> param) {
+    for (std::size_t q : qubits) {
+        if (q >= n_qubits_) throw std::invalid_argument("QuantumCircuit: qubit out of range");
+    }
+    ops_.push_back(GateOp{name, std::move(qubits), param});
+    return *this;
+}
+
+QuantumCircuit& QuantumCircuit::measure(std::size_t q) {
+    if (q >= n_qubits_) throw std::invalid_argument("QuantumCircuit: qubit out of range");
+    measurements_.push_back(MeasureOp{q});
+    return *this;
+}
+
+QuantumCircuit& QuantumCircuit::measure_all() {
+    for (std::size_t q = 0; q < n_qubits_; ++q) measure(q);
+    return *this;
+}
+
+void QuantumCircuit::add_calibration(const std::string& gate_name,
+                                     std::vector<std::size_t> qubits, Schedule schedule) {
+    calibrations_.add(gate_name, qubits, std::move(schedule));
+}
+
+std::vector<Channel> FrameConfig::frame_channels(std::size_t qubit) const {
+    std::vector<Channel> chans{drive_channel(qubit)};
+    const auto it = extra_channels.find(qubit);
+    if (it != extra_channels.end()) {
+        chans.insert(chans.end(), it->second.begin(), it->second.end());
+    }
+    return chans;
+}
+
+Schedule circuit_to_schedule(const QuantumCircuit& circuit,
+                             const InstructionScheduleMap& backend_defaults,
+                             std::size_t measure_duration, const FrameConfig& frames) {
+    Schedule out("circuit");
+
+    // Gate-level sequencing: a gate waits for every channel associated with
+    // its qubits (not only the channels its own schedule touches).
+    auto append_aligned = [&](const Schedule& gate_sched, const std::vector<std::size_t>& qubits) {
+        std::size_t t0 = 0;
+        for (const Channel& ch : gate_sched.channels()) {
+            t0 = std::max(t0, out.channel_duration(ch));
+        }
+        for (std::size_t q : qubits) {
+            for (const Channel& ch : frames.frame_channels(q)) {
+                t0 = std::max(t0, out.channel_duration(ch));
+            }
+        }
+        for (const auto& [t, inst] : gate_sched.instructions()) {
+            out.insert(t0 + t, inst);
+        }
+    };
+
+    auto lower_gate = [&](const GateOp& op, auto&& lower_ref) -> void {
+        if (op.name == "rz") {
+            if (!op.param) throw std::runtime_error("circuit_to_schedule: rz without angle");
+            Schedule sp("rz");
+            for (const Channel& ch : frames.frame_channels(op.qubits[0])) {
+                sp.insert(0, ShiftPhase{-*op.param, ch});
+            }
+            append_aligned(sp, op.qubits);
+            return;
+        }
+        if (circuit.calibrations().has(op.name, op.qubits)) {
+            append_aligned(circuit.calibrations().get(op.name, op.qubits), op.qubits);
+            return;
+        }
+        if (backend_defaults.has(op.name, op.qubits)) {
+            append_aligned(backend_defaults.get(op.name, op.qubits), op.qubits);
+            return;
+        }
+        if (op.name == "h") {
+            // IBM basis decomposition: H = RZ(pi/2) SX RZ(pi/2) (up to phase).
+            lower_ref(GateOp{"rz", op.qubits, std::numbers::pi / 2.0}, lower_ref);
+            lower_ref(GateOp{"sx", op.qubits, std::nullopt}, lower_ref);
+            lower_ref(GateOp{"rz", op.qubits, std::numbers::pi / 2.0}, lower_ref);
+            return;
+        }
+        throw std::runtime_error("circuit_to_schedule: no schedule for gate '" + op.name + "'");
+    };
+
+    for (const GateOp& op : circuit.ops()) lower_gate(op, lower_gate);
+
+    if (!circuit.measurements().empty()) {
+        const std::size_t t_meas = out.total_duration();
+        for (const MeasureOp& m : circuit.measurements()) {
+            out.insert(t_meas, Acquire{measure_duration, acquire_channel(m.qubit)});
+        }
+    }
+    return out;
+}
+
+}  // namespace qoc::pulse

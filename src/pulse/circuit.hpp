@@ -1,0 +1,88 @@
+/// \file circuit.hpp
+/// \brief Minimal gate-level circuit with per-circuit calibrations and a
+///        lowering pass to pulse schedules ("transpiling" custom pulse gates
+///        over the defaults, as the paper does in qiskit).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pulse/instruction_map.hpp"
+
+namespace qoc::pulse {
+
+/// One gate application.  `param` carries the RZ angle for "rz".
+struct GateOp {
+    std::string name;
+    std::vector<std::size_t> qubits;
+    std::optional<double> param;
+};
+
+/// A measurement marker for a qubit.
+struct MeasureOp {
+    std::size_t qubit = 0;
+};
+
+class QuantumCircuit {
+public:
+    explicit QuantumCircuit(std::size_t n_qubits) : n_qubits_(n_qubits) {}
+
+    std::size_t n_qubits() const noexcept { return n_qubits_; }
+
+    QuantumCircuit& gate(const std::string& name, std::vector<std::size_t> qubits,
+                         std::optional<double> param = std::nullopt);
+    QuantumCircuit& x(std::size_t q) { return gate("x", {q}); }
+    QuantumCircuit& sx(std::size_t q) { return gate("sx", {q}); }
+    QuantumCircuit& h(std::size_t q) { return gate("h", {q}); }
+    QuantumCircuit& rz(std::size_t q, double theta) { return gate("rz", {q}, theta); }
+    QuantumCircuit& cx(std::size_t control, std::size_t target) {
+        return gate("cx", {control, target});
+    }
+    QuantumCircuit& measure(std::size_t q);
+    QuantumCircuit& measure_all();
+
+    const std::vector<GateOp>& ops() const noexcept { return ops_; }
+    const std::vector<MeasureOp>& measurements() const noexcept { return measurements_; }
+
+    /// Attaches a custom calibration for a gate on specific qubits -- it
+    /// shadows the backend default when the circuit is lowered.
+    void add_calibration(const std::string& gate_name, std::vector<std::size_t> qubits,
+                         Schedule schedule);
+    const InstructionScheduleMap& calibrations() const noexcept { return calibrations_; }
+
+private:
+    std::size_t n_qubits_;
+    std::vector<GateOp> ops_;
+    std::vector<MeasureOp> measurements_;
+    InstructionScheduleMap calibrations_;
+};
+
+/// Frame bookkeeping for virtual-Z lowering: which channels carry a qubit's
+/// rotating frame.  The drive channel always does; cross-resonance control
+/// channels are driven at the *target* qubit's frequency, so an RZ on the
+/// target must shift those frames too (this is how IBM hardware tracks
+/// phases across CR gates).
+struct FrameConfig {
+    /// extra_channels[q] = control channels locked to qubit q's frame.
+    std::map<std::size_t, std::vector<Channel>> extra_channels;
+
+    std::vector<Channel> frame_channels(std::size_t qubit) const;
+};
+
+/// Lowers a circuit to a pulse schedule:
+///  * "rz" becomes a zero-duration ShiftPhase(-theta) on every channel of
+///    the qubit's frame (virtual Z);
+///  * other gates look up circuit calibrations first, then the backend map;
+///  * "h" without a calibration is decomposed as rz(pi/2) sx rz(pi/2);
+///  * gates start at the latest busy time across all channels belonging to
+///    their qubits (drive + frame channels + the gate schedule's channels);
+///  * measurements append Acquire instructions at the end.
+/// Throws `std::runtime_error` when a gate has no schedule anywhere.
+Schedule circuit_to_schedule(const QuantumCircuit& circuit,
+                             const InstructionScheduleMap& backend_defaults,
+                             std::size_t measure_duration = 0, const FrameConfig& frames = {});
+
+}  // namespace qoc::pulse

@@ -1,0 +1,34 @@
+#include "pulse/instruction_map.hpp"
+
+#include <stdexcept>
+
+namespace qoc::pulse {
+
+void InstructionScheduleMap::add(const std::string& gate, const std::vector<std::size_t>& qubits,
+                                 Schedule schedule) {
+    map_[Key{gate, qubits}] = std::move(schedule);
+}
+
+bool InstructionScheduleMap::has(const std::string& gate,
+                                 const std::vector<std::size_t>& qubits) const {
+    return map_.count(Key{gate, qubits}) > 0;
+}
+
+const Schedule& InstructionScheduleMap::get(const std::string& gate,
+                                            const std::vector<std::size_t>& qubits) const {
+    const auto it = map_.find(Key{gate, qubits});
+    if (it == map_.end()) {
+        throw std::out_of_range("InstructionScheduleMap: no schedule for gate '" + gate + "'");
+    }
+    return it->second;
+}
+
+std::vector<std::pair<std::string, std::vector<std::size_t>>> InstructionScheduleMap::entries()
+    const {
+    std::vector<Key> keys;
+    keys.reserve(map_.size());
+    for (const auto& [k, v] : map_) keys.push_back(k);
+    return keys;
+}
+
+}  // namespace qoc::pulse

@@ -1,0 +1,34 @@
+/// \file instruction_map.hpp
+/// \brief InstructionScheduleMap: gate-name + qubits -> pulse schedule.
+///        Custom calibrations (the paper's optimized pulse gates) are added
+///        here and take priority when circuits are lowered to schedules.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pulse/schedule.hpp"
+
+namespace qoc::pulse {
+
+class InstructionScheduleMap {
+public:
+    /// Registers (or replaces) the schedule implementing `gate` on `qubits`.
+    void add(const std::string& gate, const std::vector<std::size_t>& qubits, Schedule schedule);
+
+    bool has(const std::string& gate, const std::vector<std::size_t>& qubits) const;
+
+    /// Throws `std::out_of_range` when the entry is missing.
+    const Schedule& get(const std::string& gate, const std::vector<std::size_t>& qubits) const;
+
+    /// All registered (gate, qubits) keys, for introspection.
+    std::vector<std::pair<std::string, std::vector<std::size_t>>> entries() const;
+
+private:
+    using Key = std::pair<std::string, std::vector<std::size_t>>;
+    std::map<Key, Schedule> map_;
+};
+
+}  // namespace qoc::pulse

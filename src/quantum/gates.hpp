@@ -1,0 +1,34 @@
+/// \file gates.hpp
+/// \brief Standard quantum gates used as optimization targets and in the
+///        Clifford constructions.
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qoc::quantum::gates {
+
+using linalg::Mat;
+
+Mat x();        ///< Pauli X (NOT, the paper's pi-pulse gate)
+Mat y();
+Mat z();
+Mat h();        ///< Hadamard
+Mat s();        ///< sqrt(Z)
+Mat sdg();      ///< S^dagger
+Mat sx();       ///< sqrt(X), an IBM basis gate
+Mat sxdg();
+Mat t();
+Mat rx(double theta);
+Mat ry(double theta);
+Mat rz(double theta);  ///< e^{-i theta Z / 2}; virtual on IBM hardware
+Mat u3(double theta, double phi, double lambda);
+
+Mat cx();       ///< CNOT, control = qubit 0 (most significant)
+Mat cx_10();    ///< CNOT with control = qubit 1
+Mat cz();
+Mat swap();
+Mat iswap();
+Mat zx90();     ///< e^{-i pi/4 Z(x)X}, the echoed cross-resonance primitive
+
+}  // namespace qoc::quantum::gates

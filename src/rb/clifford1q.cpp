@@ -1,0 +1,172 @@
+#include "rb/clifford1q.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "quantum/gates.hpp"
+
+namespace qoc::rb {
+
+Mat phase_normalize(const Mat& u) {
+    // Reference entry: the largest-magnitude element (ties broken by index
+    // order, deterministic for exact group elements).
+    std::size_t kmax = 0;
+    double vmax = 0.0;
+    for (std::size_t k = 0; k < u.data().size(); ++k) {
+        const double v = std::abs(u.data()[k]);
+        if (v > vmax + 1e-9) {
+            vmax = v;
+            kmax = k;
+        }
+    }
+    if (vmax < 1e-12) return u;
+    const linalg::cplx phase = u.data()[kmax] / vmax;
+    Mat out = u;
+    for (auto& v : out.data()) v /= phase;
+    return out;
+}
+
+std::string phase_hash(const Mat& u) {
+    const Mat n = phase_normalize(u);
+    std::string key;
+    key.reserve(n.data().size() * 16);
+    char buf[40];
+    for (const auto& v : n.data()) {
+        // Round to 1e-6 and canonicalize -0.
+        double re = std::round(v.real() * 1e6) / 1e6;
+        double im = std::round(v.imag() * 1e6) / 1e6;
+        if (re == 0.0) re = 0.0;
+        if (im == 0.0) im = 0.0;
+        std::snprintf(buf, sizeof(buf), "%.6f,%.6f;", re, im);
+        key += buf;
+    }
+    return key;
+}
+
+Clifford1Q::Clifford1Q() {
+    namespace g = quantum::gates;
+
+    // Enumerate the group by closure over {H, S}.
+    std::unordered_map<std::string, std::size_t> index_of;
+    std::deque<Mat> frontier;
+    auto add = [&](const Mat& u) -> bool {
+        const std::string key = phase_hash(u);
+        if (index_of.count(key)) return false;
+        index_of.emplace(key, unitaries_.size());
+        unitaries_.push_back(phase_normalize(u));
+        frontier.push_back(unitaries_.back());
+        return true;
+    };
+    add(Mat::identity(2));
+    while (!frontier.empty()) {
+        const Mat u = frontier.front();
+        frontier.pop_front();
+        add(g::h() * u);
+        add(g::s() * u);
+    }
+    if (unitaries_.size() != kSize) {
+        throw std::logic_error("Clifford1Q: generated group has wrong order");
+    }
+    identity_ = index_of.at(phase_hash(Mat::identity(2)));
+
+    // Multiplication and inverse tables.
+    mult_table_.assign(kSize * kSize, 0);
+    inv_table_.assign(kSize, 0);
+    for (std::size_t i = 0; i < kSize; ++i) {
+        for (std::size_t j = 0; j < kSize; ++j) {
+            mult_table_[i * kSize + j] = index_of.at(phase_hash(unitaries_[i] * unitaries_[j]));
+        }
+        inv_table_[i] = index_of.at(phase_hash(unitaries_[i].adjoint()));
+    }
+
+    // Minimal basis-gate decompositions via BFS over {rz(k pi/2), sx, x},
+    // expanding cheapest (fewest physical pulses) first.
+    struct Node {
+        Mat u;
+        std::vector<BasisGate> seq;
+        std::size_t pulses;
+    };
+    const double half_pi = std::numbers::pi / 2.0;
+    const std::vector<std::pair<BasisGate, Mat>> alphabet = {
+        {{"rz", half_pi}, g::rz(half_pi)},
+        {{"rz", std::numbers::pi}, g::rz(std::numbers::pi)},
+        {{"rz", -half_pi}, g::rz(-half_pi)},
+        {{"sx", std::nullopt}, g::sx()},
+        {{"x", std::nullopt}, g::x()},
+    };
+
+    decomps_.assign(kSize, {});
+    std::vector<bool> found(kSize, false);
+    std::size_t n_found = 0;
+
+    std::deque<Node> queue;
+    queue.push_back(Node{Mat::identity(2), {}, 0});
+    std::unordered_map<std::string, std::size_t> best_pulses;
+    best_pulses[phase_hash(Mat::identity(2))] = 0;
+
+    while (!queue.empty() && n_found < kSize) {
+        Node node = std::move(queue.front());
+        queue.pop_front();
+        const auto it = index_of.find(phase_hash(node.u));
+        if (it != index_of.end() && !found[it->second]) {
+            found[it->second] = true;
+            decomps_[it->second] = node.seq;
+            ++n_found;
+        }
+        if (node.seq.size() >= 5) continue;  // every Clifford fits in 5 ops
+        for (const auto& [gate, mat] : alphabet) {
+            // Avoid consecutive rz gates (they merge) to keep BFS small.
+            if (gate.name == "rz" && !node.seq.empty() && node.seq.back().name == "rz") continue;
+            Node next;
+            next.u = mat * node.u;
+            next.seq = node.seq;
+            next.seq.push_back(gate);
+            next.pulses = node.pulses + (gate.name == "rz" ? 0 : 1);
+            const std::string key = phase_hash(next.u);
+            const auto bit = best_pulses.find(key);
+            if (bit != best_pulses.end() && bit->second <= next.pulses) continue;
+            best_pulses[key] = next.pulses;
+            queue.push_back(std::move(next));
+        }
+    }
+    if (n_found != kSize) {
+        throw std::logic_error("Clifford1Q: BFS failed to decompose all elements");
+    }
+
+    // Verify every decomposition reproduces its unitary up to phase.
+    for (std::size_t i = 0; i < kSize; ++i) {
+        Mat u = Mat::identity(2);
+        for (const auto& gate : decomps_[i]) {
+            if (gate.name == "rz") {
+                u = g::rz(*gate.param) * u;
+            } else if (gate.name == "sx") {
+                u = g::sx() * u;
+            } else {
+                u = g::x() * u;
+            }
+        }
+        if (!linalg::equal_up_to_phase(u, unitaries_[i], 1e-9)) {
+            throw std::logic_error("Clifford1Q: decomposition mismatch");
+        }
+    }
+}
+
+std::size_t Clifford1Q::find(const Mat& u) const {
+    const std::string key = phase_hash(u);
+    for (std::size_t i = 0; i < kSize; ++i) {
+        if (phase_hash(unitaries_[i]) == key) return i;
+    }
+    throw std::invalid_argument("Clifford1Q::find: matrix is not a 1Q Clifford");
+}
+
+std::size_t Clifford1Q::pulse_count(std::size_t i) const {
+    std::size_t n = 0;
+    for (const auto& gate : decomps_.at(i)) n += (gate.name != "rz");
+    return n;
+}
+
+}  // namespace qoc::rb

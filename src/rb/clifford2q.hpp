@@ -1,0 +1,76 @@
+/// \file clifford2q.hpp
+/// \brief The two-qubit Clifford group (11520 elements) via the standard
+///        coset construction used in randomized-benchmarking practice:
+///
+///   C2 = (c_a (x) c_b) . E_k . (s_i (x) s_j)
+///
+/// with c from the 24 single-qubit Cliffords, E_k one of four entangling
+/// classes {I, CX, CX.CXr (iSWAP-like), SWAP} and s from the 3-element
+/// axis-cycling set {I, SH, (SH)^2}.  Class sizes 576 / 5184 / 5184 / 576
+/// sum to 11520 and every element is distinct (verified in tests).
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "rb/clifford1q.hpp"
+
+namespace qoc::rb {
+
+/// One gate in a 2-qubit decomposition.
+struct TwoQubitGate {
+    std::string name;             ///< "rz", "sx", "x" or "cx"
+    std::vector<std::size_t> qubits;
+    std::optional<double> param;
+};
+
+class Clifford2Q {
+public:
+    explicit Clifford2Q(const Clifford1Q& c1);
+
+    static constexpr std::size_t kSize = 11520;
+
+    std::size_t size() const { return kSize; }
+
+    /// Phase-normalized 4x4 unitary of element `i` (computed on demand).
+    Mat unitary(std::size_t i) const;
+
+    /// Decomposition into {rz, sx, x} on either qubit plus cx(0,1) /
+    /// cx(1,0); cx(1,0) is emitted as h-conjugated cx(0,1) so only the
+    /// native direction is required.
+    std::vector<TwoQubitGate> decomposition(std::size_t i) const;
+
+    /// Uniformly random element index.
+    std::size_t sample(std::mt19937_64& rng) const;
+
+    /// Index of the element equal (up to phase) to `u`.  Builds the inverse
+    /// lookup table on first use (~11520 hashes).  Throws when not a
+    /// Clifford.
+    std::size_t find(const Mat& u) const;
+
+    /// Index of the inverse of element `i`.
+    std::size_t inverse(std::size_t i) const { return find(unitary(i).adjoint()); }
+
+    std::size_t identity_index() const;
+
+    /// Number of cx applications in the decomposition (0, 1, 2 or 3).
+    std::size_t cx_count(std::size_t i) const;
+
+private:
+    struct Parts {
+        std::size_t c_a, c_b;   ///< pre single-qubit layer
+        std::size_t cls;        ///< entangling class 0..3
+        std::size_t s_i, s_j;   ///< axis-cycling layer (classes 1, 2 only)
+    };
+    Parts split(std::size_t i) const;
+
+    const Clifford1Q& c1_;
+    std::vector<std::size_t> s_set_;  ///< indices of {I, SH, (SH)^2} in C1
+    mutable std::vector<std::size_t> lookup_built_;  // lazily built hash map
+    mutable std::unordered_map<std::string, std::size_t> lookup_;
+};
+
+}  // namespace qoc::rb

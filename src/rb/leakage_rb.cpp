@@ -1,0 +1,64 @@
+#include "rb/leakage_rb.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "optim/levmar.hpp"
+#include "quantum/states.hpp"
+#include "quantum/superop.hpp"
+
+namespace qoc::rb {
+
+LeakageRbResult run_leakage_rb_1q(const PulseExecutor& exec, const GateSet1Q& gates,
+                                  const RbOptions& opts) {
+    const Clifford1Q& group = gates.group();
+    const std::size_t d2 = gates.dim() * gates.dim();
+    const Mat rho0 = exec.ground_state_1q();
+
+    LeakageRbResult res;
+    for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
+        const std::size_t m = opts.lengths[li];
+        double mean_leak = 0.0;
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic) reduction(+ : mean_leak)
+#endif
+        for (std::size_t s = 0; s < opts.seeds_per_length; ++s) {
+            std::mt19937_64 rng(opts.rng_seed + 104729 * (li * 1000 + s));
+            std::uniform_int_distribution<std::size_t> dist(0, Clifford1Q::kSize - 1);
+            Mat total = Mat::identity(d2);
+            std::size_t net = group.identity_index();
+            for (std::size_t k = 0; k < m; ++k) {
+                const std::size_t c = dist(rng);
+                total = gates.clifford_superop(c) * total;
+                net = group.multiply(c, net);
+            }
+            total = gates.clifford_superop(group.inverse(net)) * total;
+            const Mat rho = quantum::apply_superop(total, rho0);
+            double leak = 0.0;
+            for (std::size_t lvl = 2; lvl < gates.dim(); ++lvl) {
+                leak += rho(lvl, lvl).real();
+            }
+            mean_leak += leak;
+        }
+        res.lengths.push_back(m);
+        res.leakage_population.push_back(mean_leak /
+                                         static_cast<double>(opts.seeds_per_length));
+    }
+
+    // Fit p_comp(m) = A lambda^m + (1 - p_inf) where p_comp = 1 - leakage.
+    std::vector<double> p_comp(res.lengths.size());
+    for (std::size_t i = 0; i < p_comp.size(); ++i) {
+        p_comp[i] = 1.0 - res.leakage_population[i];
+    }
+    auto model = [&](std::size_t i, const std::vector<double>& p) {
+        return p[0] * std::pow(p[1], static_cast<double>(res.lengths[i])) + p[2];
+    };
+    const auto fit =
+        optim::levmar_fit(model, p_comp.size(), p_comp, {0.01, 0.999, 0.99});
+    res.lambda = fit.params[1];
+    res.p_leak_inf = 1.0 - fit.params[2];
+    res.leakage_rate_per_clifford = (1.0 - res.lambda) * res.p_leak_inf;
+    return res;
+}
+
+}  // namespace qoc::rb

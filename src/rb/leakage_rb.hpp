@@ -1,0 +1,32 @@
+/// \file leakage_rb.hpp
+/// \brief Leakage randomized benchmarking: track the population escaping the
+///        computational subspace as a function of Clifford sequence length.
+///
+/// The paper's Discussion notes that "higher energy levels have an impact on
+/// the system-dynamics"; since the executor models the full 3-level
+/// transmon, the leakage accumulated by a gate set is directly measurable.
+/// Following Wood & Gambetta, the subspace population decays as
+///   p_comp(m) = A lambda^m + p_inf,
+/// and the leakage rate per Clifford is L1 = (1 - lambda)(1 - p_inf).
+
+#pragma once
+
+#include "rb/rb.hpp"
+
+namespace qoc::rb {
+
+struct LeakageRbResult {
+    std::vector<std::size_t> lengths;
+    std::vector<double> leakage_population;  ///< mean pop outside {|0>,|1>}
+    double leakage_rate_per_clifford = 0.0;  ///< L1
+    double lambda = 1.0;                     ///< subspace-decay parameter
+    double p_leak_inf = 0.0;                 ///< steady-state leakage
+};
+
+/// Runs leakage RB on a 1-qubit gate set (no readout model: leakage
+/// population is read from the simulated density matrix, the simulator's
+/// privilege; hardware protocols estimate it from paired measurements).
+LeakageRbResult run_leakage_rb_1q(const PulseExecutor& exec, const GateSet1Q& gates,
+                                  const RbOptions& options);
+
+}  // namespace qoc::rb

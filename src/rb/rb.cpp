@@ -1,0 +1,289 @@
+#include "rb/rb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <stdexcept>
+
+#include "optim/levmar.hpp"
+#include "quantum/states.hpp"
+#include "quantum/superop.hpp"
+
+namespace qoc::rb {
+
+namespace {
+
+/// Shared survival-probability machinery over an abstract Clifford engine.
+struct SequenceResult {
+    double survival = 0.0;
+};
+
+double survival_mean(std::vector<double>& vals) {
+    double m = 0.0;
+    for (double v : vals) m += v;
+    return m / static_cast<double>(vals.size());
+}
+
+double survival_sem(const std::vector<double>& vals, double mean) {
+    if (vals.size() < 2) return 0.0;
+    double s = 0.0;
+    for (double v : vals) s += (v - mean) * (v - mean);
+    return std::sqrt(s / static_cast<double>(vals.size() - 1) /
+                     static_cast<double>(vals.size()));
+}
+
+}  // namespace
+
+void fit_rb_curve(RbCurve& curve, double dimension) {
+    const std::size_t n = curve.points.size();
+    if (n < 3) throw std::invalid_argument("fit_rb_curve: need at least 3 lengths");
+    std::vector<double> y(n), sigma(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] = curve.points[i].mean_survival;
+        sigma[i] = std::max(curve.points[i].sem, 1e-4);
+    }
+    auto model = [&](std::size_t i, const std::vector<double>& p) {
+        return p[0] * std::pow(p[1], static_cast<double>(curve.points[i].length)) + p[2];
+    };
+    // Seed alpha from the first/last points.
+    const double y0 = y.front(), y1 = y.back();
+    const double m0 = static_cast<double>(curve.points.front().length);
+    const double m1 = static_cast<double>(curve.points.back().length);
+    const double b_guess = 1.0 / dimension;
+    double alpha_guess = 0.999;
+    if (y0 > b_guess && y1 > b_guess && m1 > m0) {
+        alpha_guess = std::pow((y1 - b_guess) / (y0 - b_guess), 1.0 / (m1 - m0));
+        alpha_guess = std::clamp(alpha_guess, 0.5, 0.999999);
+    }
+    const auto fit = optim::levmar_fit(model, n, y, {1.0 - b_guess, alpha_guess, b_guess}, sigma);
+    curve.a = fit.params[0];
+    curve.alpha = fit.params[1];
+    curve.b = fit.params[2];
+    curve.alpha_err = fit.stderrs[1];
+    const double scale = (dimension - 1.0) / dimension;
+    curve.epc = scale * (1.0 - curve.alpha);
+    curve.epc_err = scale * curve.alpha_err;
+}
+
+// --- 1Q -----------------------------------------------------------------
+
+GateSet1Q::GateSet1Q(const PulseExecutor& exec, const pulse::InstructionScheduleMap& gates,
+                     std::size_t qubit, const Clifford1Q& group)
+    : group_(group) {
+    const std::size_t d = exec.config().levels;
+    dim_ = d;
+    const Mat x_super = exec.schedule_superop_1q(gates.get("x", {qubit}), qubit);
+    const Mat sx_super = exec.schedule_superop_1q(gates.get("sx", {qubit}), qubit);
+
+    cliff_super_.reserve(Clifford1Q::kSize);
+    for (std::size_t i = 0; i < Clifford1Q::kSize; ++i) {
+        Mat total = Mat::identity(d * d);
+        for (const BasisGate& g : group_.decomposition(i)) {
+            if (g.name == "rz") {
+                total = exec.rz_superop_1q(*g.param) * total;
+            } else if (g.name == "sx") {
+                total = sx_super * total;
+            } else if (g.name == "x") {
+                total = x_super * total;
+            } else {
+                throw std::logic_error("GateSet1Q: unknown basis gate " + g.name);
+            }
+        }
+        cliff_super_.push_back(std::move(total));
+    }
+}
+
+namespace {
+
+/// Generic 1Q RB loop; `interleave` (optional) gives the noisy superop and
+/// ideal Clifford index of the interleaved gate.
+RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size_t qubit,
+                    const RbOptions& opts, const Mat* interleave_super,
+                    std::size_t interleave_index) {
+    const Clifford1Q& group = gates.group();
+    const std::size_t d2 = gates.dim() * gates.dim();
+    const Mat rho0 = exec.ground_state_1q();
+
+    RbCurve curve;
+    for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
+        const std::size_t m = opts.lengths[li];
+        std::vector<double> survivals(opts.seeds_per_length);
+
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+        for (std::size_t s = 0; s < opts.seeds_per_length; ++s) {
+            // The interleaved experiment reuses the same random Clifford
+            // sequences as the reference (standard IRB practice): paired
+            // sequences cancel most sampling noise in the alpha ratio.
+            std::mt19937_64 rng(opts.rng_seed + 7919 * (li * 1000 + s));
+            std::uniform_int_distribution<std::size_t> dist(0, Clifford1Q::kSize - 1);
+
+            Mat total = Mat::identity(d2);
+            std::size_t net = group.identity_index();
+            for (std::size_t k = 0; k < m; ++k) {
+                const std::size_t c = dist(rng);
+                total = gates.clifford_superop(c) * total;
+                net = group.multiply(c, net);
+                if (interleave_super) {
+                    total = (*interleave_super) * total;
+                    net = group.multiply(interleave_index, net);
+                }
+            }
+            const std::size_t rec = group.inverse(net);
+            total = gates.clifford_superop(rec) * total;
+
+            const Mat rho = quantum::apply_superop(total, rho0);
+            const double p0 = 1.0 - exec.p1_after_readout(rho, qubit);
+            // Shot sampling.
+            std::binomial_distribution<int> shots_dist(opts.shots, std::clamp(p0, 0.0, 1.0));
+            survivals[s] =
+                static_cast<double>(shots_dist(rng)) / static_cast<double>(opts.shots);
+        }
+        RbPoint pt;
+        pt.length = m;
+        pt.mean_survival = survival_mean(survivals);
+        pt.sem = survival_sem(survivals, pt.mean_survival);
+        curve.points.push_back(pt);
+    }
+    fit_rb_curve(curve, 2.0);
+    return curve;
+}
+
+}  // namespace
+
+RbCurve run_rb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size_t qubit,
+                  const RbOptions& options) {
+    return rb_curve_1q(exec, gates, qubit, options, nullptr, 0);
+}
+
+IrbResult run_irb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size_t qubit,
+                     const Mat& interleaved_superop, std::size_t interleaved_clifford,
+                     const RbOptions& options) {
+    IrbResult res;
+    res.reference = rb_curve_1q(exec, gates, qubit, options, nullptr, 0);
+    res.interleaved =
+        rb_curve_1q(exec, gates, qubit, options, &interleaved_superop, interleaved_clifford);
+    const double ratio = res.interleaved.alpha / res.reference.alpha;
+    res.gate_error = 0.5 * (1.0 - ratio);
+    // Propagate both alpha uncertainties.
+    const double rel = std::sqrt(std::pow(res.interleaved.alpha_err / res.interleaved.alpha, 2) +
+                                 std::pow(res.reference.alpha_err / res.reference.alpha, 2));
+    res.gate_error_err = 0.5 * ratio * rel;
+    return res;
+}
+
+// --- 2Q -----------------------------------------------------------------
+
+GateSet2Q::GateSet2Q(const PulseExecutor& exec, const pulse::InstructionScheduleMap& gates,
+                     const Clifford2Q& group)
+    : group_(group), exec_(exec) {
+    for (std::size_t q = 0; q < 2; ++q) {
+        const pulse::Schedule& xs = gates.get("x", {q});
+        const pulse::Schedule& sxs = gates.get("sx", {q});
+        const std::size_t nx = xs.total_duration();
+        const std::size_t nsx = sxs.total_duration();
+        const std::vector<std::complex<double>> zx(nx), zsx(nsx);
+        const auto x_samples = xs.channel_samples(pulse::drive_channel(q), nx);
+        const auto sx_samples = sxs.channel_samples(pulse::drive_channel(q), nsx);
+        if (q == 0) {
+            x_super_[0] = exec.layer_superop_2q(x_samples, zx, zx);
+            sx_super_[0] = exec.layer_superop_2q(sx_samples, zsx, zsx);
+        } else {
+            x_super_[1] = exec.layer_superop_2q(zx, x_samples, zx);
+            sx_super_[1] = exec.layer_superop_2q(zsx, sx_samples, zsx);
+        }
+    }
+    cx_super_ = exec.schedule_superop_2q(gates.get("cx", {0, 1}));
+}
+
+Mat GateSet2Q::clifford_superop(std::size_t i) const {
+    Mat total = Mat::identity(16);
+    for (const TwoQubitGate& g : group_.decomposition(i)) {
+        if (g.name == "rz") {
+            total = exec_.rz_superop_2q(*g.param, g.qubits[0]) * total;
+        } else if (g.name == "sx") {
+            total = sx_super_[g.qubits[0]] * total;
+        } else if (g.name == "x") {
+            total = x_super_[g.qubits[0]] * total;
+        } else if (g.name == "cx") {
+            total = cx_super_ * total;
+        } else {
+            throw std::logic_error("GateSet2Q: unknown gate " + g.name);
+        }
+    }
+    return total;
+}
+
+namespace {
+
+RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbOptions& opts,
+                    const Mat* interleave_super, std::size_t interleave_index) {
+    const Clifford2Q& group = gates.group();
+    const Mat rho0 = exec.ground_state_2q();
+    const Mat interleave_ideal =
+        interleave_super ? group.unitary(interleave_index) : Mat::identity(4);
+
+    RbCurve curve;
+    for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
+        const std::size_t m = opts.lengths[li];
+        std::vector<double> survivals(opts.seeds_per_length);
+
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+        for (std::size_t s = 0; s < opts.seeds_per_length; ++s) {
+            // Paired sequences with the reference run (see rb_curve_1q).
+            std::mt19937_64 rng(opts.rng_seed + 6271 * (li * 1000 + s));
+
+            Mat total = Mat::identity(16);
+            Mat net_ideal = Mat::identity(4);
+            for (std::size_t k = 0; k < m; ++k) {
+                const std::size_t c = group.sample(rng);
+                total = gates.clifford_superop(c) * total;
+                net_ideal = phase_normalize(group.unitary(c) * net_ideal);
+                if (interleave_super) {
+                    total = (*interleave_super) * total;
+                    net_ideal = phase_normalize(interleave_ideal * net_ideal);
+                }
+            }
+            const std::size_t rec = group.find(net_ideal.adjoint());
+            total = gates.clifford_superop(rec) * total;
+
+            const Mat rho = quantum::apply_superop(total, rho0);
+            const device::Counts counts = exec.measure_2q(rho, opts.shots, rng());
+            survivals[s] = counts.probability("00");
+        }
+        RbPoint pt;
+        pt.length = m;
+        pt.mean_survival = survival_mean(survivals);
+        pt.sem = survival_sem(survivals, pt.mean_survival);
+        curve.points.push_back(pt);
+    }
+    fit_rb_curve(curve, 4.0);
+    return curve;
+}
+
+}  // namespace
+
+RbCurve run_rb_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbOptions& options) {
+    return rb_curve_2q(exec, gates, options, nullptr, 0);
+}
+
+IrbResult run_irb_2q(const PulseExecutor& exec, const GateSet2Q& gates,
+                     const Mat& interleaved_superop, std::size_t interleaved_clifford,
+                     const RbOptions& options) {
+    IrbResult res;
+    res.reference = rb_curve_2q(exec, gates, options, nullptr, 0);
+    res.interleaved =
+        rb_curve_2q(exec, gates, options, &interleaved_superop, interleaved_clifford);
+    const double ratio = res.interleaved.alpha / res.reference.alpha;
+    res.gate_error = 0.75 * (1.0 - ratio);
+    const double rel = std::sqrt(std::pow(res.interleaved.alpha_err / res.interleaved.alpha, 2) +
+                                 std::pow(res.reference.alpha_err / res.reference.alpha, 2));
+    res.gate_error_err = 0.75 * ratio * rel;
+    return res;
+}
+
+}  // namespace qoc::rb

@@ -1,0 +1,259 @@
+#include "rb/tomography.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/kron.hpp"
+#include "linalg/lu.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/operators.hpp"
+#include "quantum/states.hpp"
+#include "quantum/superop.hpp"
+
+namespace qoc::rb {
+
+namespace {
+using linalg::cplx;
+
+Mat pauli(std::size_t i) {
+    switch (i) {
+        case 0: return Mat::identity(2);
+        case 1: return quantum::sigma_x();
+        case 2: return quantum::sigma_y();
+        default: return quantum::sigma_z();
+    }
+}
+}  // namespace
+
+Mat ptm_of_unitary(const Mat& u2) {
+    Mat r(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            r(i, j) = 0.5 * (pauli(i) * u2 * pauli(j) * u2.adjoint()).trace();
+        }
+    }
+    return r;
+}
+
+double avg_fidelity_from_ptm(const Mat& ptm, const Mat& target2) {
+    const Mat rt = ptm_of_unitary(target2);
+    double tr = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) tr += (rt(i, j) * ptm(i, j)).real();
+    const double f_pro = tr / 4.0;
+    return (2.0 * f_pro + 1.0) / 3.0;
+}
+
+double mitigate_p1(const PulseExecutor& device, std::size_t qubit, double measured_p1) {
+    const auto& q = device.config().qubit(qubit);
+    const double denom = 1.0 - q.readout_p01 - q.readout_p10;
+    if (std::abs(denom) < 1e-9) return measured_p1;
+    return std::clamp((measured_p1 - q.readout_p10) / denom, 0.0, 1.0);
+}
+
+ProcessTomographyResult process_tomography_1q(const PulseExecutor& device,
+                                              const pulse::InstructionScheduleMap& defaults,
+                                              const Mat& gate_superop, const Mat& target2,
+                                              std::size_t qubit,
+                                              const TomographyOptions& opts) {
+    const double half_pi = std::numbers::pi / 2.0;
+    const Mat sx_super = device.schedule_superop_1q(defaults.get("sx", {qubit}), qubit);
+    const Mat x_super = device.schedule_superop_1q(defaults.get("x", {qubit}), qubit);
+    const Mat rz_p = device.rz_superop_1q(half_pi);
+    const Mat rz_m = device.rz_superop_1q(-half_pi);
+    const Mat h_super = rz_p * sx_super * rz_p;  // hardware H
+
+    // State preparations from |0>: {|0>, |1>, |+>, |+i>}.
+    const std::size_t d2 = device.config().levels * device.config().levels;
+    const Mat ident = Mat::identity(d2);
+    const std::vector<Mat> preps = {ident, x_super, h_super, rz_p * h_super};
+
+    // Measurement-basis rotations mapping X/Y/Z onto Z before readout.
+    const std::vector<Mat> basis = {h_super, h_super * rz_m, ident};
+
+    // Expectation values <P_b> for each prep a.
+    double expect[4][3];
+    std::uint64_t seed = opts.seed;
+    const Mat rho0 = device.ground_state_1q();
+    for (std::size_t a = 0; a < 4; ++a) {
+        const Mat after_gate = gate_superop * preps[a];
+        for (std::size_t b = 0; b < 3; ++b) {
+            const Mat total = basis[b] * after_gate;
+            const Mat rho = quantum::apply_superop(total, rho0);
+            const device::Counts counts = device.measure_1q(rho, qubit, opts.shots, seed++);
+            double p1 = counts.probability("1");
+            if (opts.mitigate_readout) p1 = mitigate_p1(device, qubit, p1);
+            expect[a][b] = 1.0 - 2.0 * p1;
+        }
+    }
+
+    // Linear inversion onto the PTM using the ideal input Bloch vectors
+    // (0,0,1), (0,0,-1), (1,0,0), (0,1,0).
+    ProcessTomographyResult res;
+    res.ptm = Mat(4, 4);
+    res.ptm(0, 0) = 1.0;
+    for (std::size_t i = 1; i < 4; ++i) {
+        const std::size_t b = i - 1;  // X, Y, Z rows map to basis index
+        const double e0 = expect[0][b];
+        const double e1 = expect[1][b];
+        const double ep = expect[2][b];
+        const double ei = expect[3][b];
+        const double affine = 0.5 * (e0 + e1);  // R_{i0}
+        res.ptm(i, 0) = affine;
+        res.ptm(i, 1) = ep - affine;
+        res.ptm(i, 2) = ei - affine;
+        res.ptm(i, 3) = 0.5 * (e0 - e1);
+    }
+
+    res.avg_gate_fidelity = avg_fidelity_from_ptm(res.ptm, target2);
+    double u = 0.0;
+    for (std::size_t i = 1; i < 4; ++i)
+        for (std::size_t j = 1; j < 4; ++j) u += std::norm(res.ptm(i, j));
+    res.unitarity = u / 3.0;
+    return res;
+}
+
+// --- two-qubit tomography ----------------------------------------------------
+
+namespace {
+Mat pauli4(std::size_t idx) {
+    return linalg::kron(pauli(idx / 4), pauli(idx % 4));
+}
+}  // namespace
+
+Mat ptm_of_unitary_2q(const Mat& u4) {
+    Mat r(16, 16);
+    for (std::size_t i = 0; i < 16; ++i) {
+        for (std::size_t j = 0; j < 16; ++j) {
+            r(i, j) = 0.25 * (pauli4(i) * u4 * pauli4(j) * u4.adjoint()).trace();
+        }
+    }
+    return r;
+}
+
+double avg_fidelity_from_ptm_2q(const Mat& ptm, const Mat& target4) {
+    const Mat rt = ptm_of_unitary_2q(target4);
+    double tr = 0.0;
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j) tr += (rt(i, j) * ptm(i, j)).real();
+    const double f_pro = tr / 16.0;
+    return (4.0 * f_pro + 1.0) / 5.0;
+}
+
+ProcessTomography2qResult process_tomography_2q(
+    const PulseExecutor& device, const pulse::InstructionScheduleMap& defaults,
+    const Mat& gate_superop, const Mat& target4, const TomographyOptions& opts) {
+    const double half_pi = std::numbers::pi / 2.0;
+
+    // Per-qubit building blocks on the pair (2-level each).
+    auto sx1 = [&](std::size_t q) {
+        const pulse::Schedule& s = defaults.get("sx", {q});
+        const std::size_t n = s.total_duration();
+        const std::vector<std::complex<double>> z(n);
+        const auto samples = s.channel_samples(pulse::drive_channel(q), n);
+        return q == 0 ? device.layer_superop_2q(samples, z, z)
+                      : device.layer_superop_2q(z, samples, z);
+    };
+    auto x1 = [&](std::size_t q) {
+        const pulse::Schedule& s = defaults.get("x", {q});
+        const std::size_t n = s.total_duration();
+        const std::vector<std::complex<double>> z(n);
+        const auto samples = s.channel_samples(pulse::drive_channel(q), n);
+        return q == 0 ? device.layer_superop_2q(samples, z, z)
+                      : device.layer_superop_2q(z, samples, z);
+    };
+
+    const Mat ident16 = Mat::identity(16);
+    std::vector<std::vector<Mat>> prep1(2), basis1(2);
+    for (std::size_t q = 0; q < 2; ++q) {
+        const Mat sx_s = sx1(q);
+        const Mat x_s = x1(q);
+        const Mat rzp = device.rz_superop_2q(half_pi, q);
+        const Mat rzm = device.rz_superop_2q(-half_pi, q);
+        const Mat h_s = rzp * sx_s * rzp;
+        // Preps from |0>: {|0>, |1>, |+>, |+i>}.
+        prep1[q] = {ident16, x_s, h_s, rzp * h_s};
+        // Basis changes mapping X/Y/Z onto Z.
+        basis1[q] = {h_s, h_s * rzm, ident16};
+    }
+
+    // Input-frame matrix V (16 x 16): row = prep pair, col = Pauli pair;
+    // V1 rows are the (1, r) vectors of the IDEAL prep states.
+    const double v1[4][4] = {{1, 0, 0, 1}, {1, 0, 0, -1}, {1, 1, 0, 0}, {1, 0, 1, 0}};
+    Mat v(16, 16);
+    for (std::size_t a = 0; a < 4; ++a)
+        for (std::size_t b = 0; b < 4; ++b)
+            for (std::size_t i = 0; i < 4; ++i)
+                for (std::size_t j = 0; j < 4; ++j)
+                    v(a * 4 + b, i * 4 + j) = v1[a][i] * v1[b][j];
+    const linalg::Lu v_lu(v);
+
+    // Measured expectations E[pauli_pair][prep_pair].
+    Mat expect(16, 16);
+    std::uint64_t seed = opts.seed;
+    const Mat rho0 = device.ground_state_2q();
+    for (std::size_t a = 0; a < 4; ++a) {
+        for (std::size_t b = 0; b < 4; ++b) {
+            const Mat prepared = gate_superop * (prep1[0][a] * prep1[1][b]);
+            // One shot batch per (non-identity) basis pair; identity
+            // components come from marginals of the Z-ish settings.
+            double e[4][4];
+            e[0][0] = 1.0;
+            for (std::size_t p = 0; p < 3; ++p) {
+                for (std::size_t q = 0; q < 3; ++q) {
+                    const Mat total = (basis1[0][p] * basis1[1][q]) * prepared;
+                    const Mat rho = quantum::apply_superop(total, rho0);
+                    const device::Counts counts = device.measure_2q(rho, opts.shots, seed++);
+                    double p00 = counts.probability("00"), p01 = counts.probability("01");
+                    double p10 = counts.probability("10"), p11 = counts.probability("11");
+                    if (opts.mitigate_readout) {
+                        // Per-qubit confusion inversion on the marginals'
+                        // joint distribution (independent readout model).
+                        const auto& q0 = device.config().qubit(0);
+                        const auto& q1 = device.config().qubit(1);
+                        auto unmix = [](double& m0, double& m1, double e01, double e10) {
+                            const double den = 1.0 - e01 - e10;
+                            if (std::abs(den) < 1e-9) return;
+                            const double t0 = ((1.0 - e01) * m0 - e10 * m1) / den;
+                            const double t1 = ((1.0 - e10) * m1 - e01 * m0) / den;
+                            m0 = t0;
+                            m1 = t1;
+                        };
+                        // Invert qubit-0 readout on (p0x, p1x) pairs.
+                        unmix(p00, p10, q0.readout_p01, q0.readout_p10);
+                        unmix(p01, p11, q0.readout_p01, q0.readout_p10);
+                        // Invert qubit-1 readout on (px0, px1) pairs.
+                        unmix(p00, p01, q1.readout_p01, q1.readout_p10);
+                        unmix(p10, p11, q1.readout_p01, q1.readout_p10);
+                    }
+                    const double zz = p00 - p01 - p10 + p11;
+                    const double zi = p00 + p01 - p10 - p11;  // qubit-0 marginal
+                    const double iz = p00 - p01 + p10 - p11;  // qubit-1 marginal
+                    e[p + 1][q + 1] = zz;
+                    if (q == 2) e[p + 1][0] = zi;  // P (x) I from the Z-setting of q1
+                    if (p == 2) e[0][q + 1] = iz;  // I (x) P from the Z-setting of q0
+                }
+            }
+            for (std::size_t i = 0; i < 4; ++i)
+                for (std::size_t j = 0; j < 4; ++j)
+                    expect(i * 4 + j, a * 4 + b) = e[i][j];
+        }
+    }
+
+    // Linear inversion: for each output Pauli p, R[p, :] solves
+    // V * R[p, :]^T = expect[p, :]^T.
+    ProcessTomography2qResult res;
+    res.ptm = Mat(16, 16);
+    for (std::size_t p = 0; p < 16; ++p) {
+        Mat rhs(16, 1);
+        for (std::size_t in = 0; in < 16; ++in) rhs(in, 0) = expect(p, in);
+        const Mat sol = v_lu.solve(rhs);
+        for (std::size_t c = 0; c < 16; ++c) res.ptm(p, c) = sol(c, 0);
+    }
+    res.avg_gate_fidelity = avg_fidelity_from_ptm_2q(res.ptm, target4);
+    return res;
+}
+
+}  // namespace qoc::rb

@@ -1,0 +1,79 @@
+/// \file tomography.hpp
+/// \brief Single-qubit quantum process tomography and readout-error
+///        mitigation.
+///
+/// The paper concludes that "IRB results do not always present an accurate
+/// picture"; process tomography is the standard cross-check.  We prepare
+/// the four informationally complete inputs {|0>, |1>, |+>, |+i>}, apply
+/// the gate under test, measure in the X/Y/Z bases (shot-sampled through
+/// the device's readout confusion), optionally mitigate readout error, and
+/// reconstruct the Pauli transfer matrix (PTM) by linear inversion.
+
+#pragma once
+
+#include <cstdint>
+
+#include "device/executor.hpp"
+#include "pulse/instruction_map.hpp"
+
+namespace qoc::rb {
+
+using device::PulseExecutor;
+using linalg::Mat;
+
+struct TomographyOptions {
+    int shots = 8192;
+    std::uint64_t seed = 97;
+    bool mitigate_readout = true;  ///< invert the (known) confusion matrix
+};
+
+struct ProcessTomographyResult {
+    Mat ptm;                     ///< 4x4 real Pauli transfer matrix (as complex Mat)
+    double avg_gate_fidelity = 0.0;  ///< vs the supplied target unitary
+    double unitarity = 0.0;          ///< coherence of the reconstructed map
+};
+
+/// Readout mitigation: corrects a measured P(1) using the confusion matrix
+/// of `qubit` (clamped to [0, 1]).
+double mitigate_p1(const PulseExecutor& device, std::size_t qubit, double measured_p1);
+
+/// Runs 1-qubit process tomography of `gate_superop` (the noisy channel
+/// under test, in the executor's d-level space) against the 2x2 target.
+/// State preparation and measurement-basis changes use the backend default
+/// gates, so SPAM errors enter realistically; mitigation removes the
+/// readout part only.
+ProcessTomographyResult process_tomography_1q(const PulseExecutor& device,
+                                              const pulse::InstructionScheduleMap& defaults,
+                                              const Mat& gate_superop, const Mat& target2,
+                                              std::size_t qubit,
+                                              const TomographyOptions& options = {});
+
+/// Average gate fidelity from a PTM R against target unitary U:
+/// F_avg = (Tr(R_U^T R) / d + d) / (d^2 + d) with d = 2.
+double avg_fidelity_from_ptm(const Mat& ptm, const Mat& target2);
+
+/// The ideal PTM of a 2x2 unitary.
+Mat ptm_of_unitary(const Mat& u2);
+
+/// Two-qubit process tomography of a 16x16 superoperator channel against a
+/// 4x4 target unitary: 16 product input states x 9 product measurement
+/// bases, joint-count Pauli expectations (optionally readout-mitigated per
+/// qubit), PTM by linear inversion over the product-state frame.
+struct ProcessTomography2qResult {
+    Mat ptm;                         ///< 16x16 Pauli transfer matrix
+    double avg_gate_fidelity = 0.0;  ///< vs the 4x4 target
+};
+
+ProcessTomography2qResult process_tomography_2q(
+    const PulseExecutor& device, const pulse::InstructionScheduleMap& defaults,
+    const Mat& gate_superop, const Mat& target4, const TomographyOptions& options = {});
+
+/// The ideal PTM of a 4x4 unitary (two-qubit Pauli basis, row/col index
+/// = 4*i + j over {I,X,Y,Z} x {I,X,Y,Z}).
+Mat ptm_of_unitary_2q(const Mat& u4);
+
+/// Average fidelity from a 2-qubit PTM: F_pro = Tr(R_t^T R)/16,
+/// F_avg = (4 F_pro + 1)/5.
+double avg_fidelity_from_ptm_2q(const Mat& ptm, const Mat& target4);
+
+}  // namespace qoc::rb

@@ -1,0 +1,105 @@
+#include "device/drift_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qoc::device {
+namespace {
+
+TEST(Backends, PaperParameters) {
+    const auto montreal = ibmq_montreal();
+    EXPECT_EQ(montreal.name, "ibmq_montreal");
+    EXPECT_NEAR(montreal.qubit(0).frequency_ghz, 4.911, 1e-9);
+    // The paper's device-average T1 values are kept for reporting; qubit 0
+    // itself is modeled as a better-than-average qubit.
+    EXPECT_NEAR(montreal.device_average_t1_us, 86.76, 1e-9);
+    EXPECT_GT(montreal.qubit(0).t1, 1000.0 * montreal.device_average_t1_us);
+
+    const auto toronto = ibmq_toronto();
+    EXPECT_NEAR(toronto.qubit(0).frequency_ghz, 5.225, 1e-9);
+    EXPECT_NEAR(toronto.device_average_t1_us, 83.52, 1e-9);
+    EXPECT_GT(toronto.qubit(0).t1, 1000.0 * toronto.device_average_t1_us);
+
+    EXPECT_NEAR(montreal.dt, 2.0 / 9.0, 1e-15);
+    EXPECT_EQ(montreal.levels, 3u);
+}
+
+TEST(Backends, NominalModelStripsImperfections) {
+    auto dev = ibmq_montreal();
+    dev.qubits[0].detuning = 0.01;
+    dev.qubits[0].amp_scale = 1.05;
+    const auto nominal = nominal_model(dev);
+    EXPECT_DOUBLE_EQ(nominal.qubit(0).detuning, 0.0);
+    EXPECT_DOUBLE_EQ(nominal.qubit(0).amp_scale, 1.0);
+    EXPECT_DOUBLE_EQ(nominal.qubit(0).t1, dev.qubit(0).t1);
+}
+
+TEST(Drift, Deterministic) {
+    DriftModel m(ibmq_montreal(), 99);
+    const auto a = m.device_on_day(3);
+    const auto b = m.device_on_day(3);
+    EXPECT_DOUBLE_EQ(a.qubit(0).detuning, b.qubit(0).detuning);
+    EXPECT_DOUBLE_EQ(a.qubit(0).amp_scale, b.qubit(0).amp_scale);
+}
+
+TEST(Drift, DifferentDaysDiffer) {
+    DriftModel m(ibmq_montreal(), 99);
+    const auto d0 = m.device_on_day(0);
+    const auto d1 = m.device_on_day(1);
+    EXPECT_NE(d0.qubit(0).detuning, d1.qubit(0).detuning);
+}
+
+TEST(Drift, NegativeDayIsNominal) {
+    DriftModel m(ibmq_montreal(), 5);
+    const auto d = m.device_on_day(-1);
+    EXPECT_DOUBLE_EQ(d.qubit(0).detuning, 0.0);
+    EXPECT_DOUBLE_EQ(d.qubit(0).amp_scale, 1.0);
+}
+
+TEST(Drift, MagnitudesPhysical) {
+    DriftModel m(ibmq_montreal(), 2024);
+    for (int day = 0; day < 30; ++day) {
+        const auto d = m.device_on_day(day);
+        for (const auto& q : d.qubits) {
+            EXPECT_LT(std::abs(q.detuning), 0.02) << "day " << day;     // < ~3 MHz
+            EXPECT_GT(q.amp_scale, 0.8);
+            EXPECT_LT(q.amp_scale, 1.25);
+            EXPECT_GT(q.t1, 10'000.0);
+            EXPECT_LE(q.t2, 2.0 * q.t1 + 1e-9);
+            EXPECT_GE(q.readout_p01, 1e-4);
+            EXPECT_LE(q.readout_p01, 0.3);
+        }
+    }
+}
+
+TEST(Drift, JumpDaysExist) {
+    DriftModel m(ibmq_montreal(), 7);
+    int jumps = 0;
+    for (int day = 0; day < 60; ++day) jumps += m.is_jump_day(day);
+    EXPECT_GT(jumps, 0);
+    EXPECT_LT(jumps, 30);
+}
+
+TEST(Drift, CorrelatedAcrossDays) {
+    // Mean-reverting walk: the day-to-day change should usually be smaller
+    // than the overall spread (correlation > 0).
+    DriftModel m(ibmq_montreal(), 31);
+    std::vector<double> det;
+    for (int day = 0; day < 40; ++day) det.push_back(m.device_on_day(day).qubit(0).detuning);
+    double var = 0.0, dvar = 0.0, mean = 0.0;
+    for (double v : det) mean += v;
+    mean /= det.size();
+    for (std::size_t i = 0; i < det.size(); ++i) {
+        var += (det[i] - mean) * (det[i] - mean);
+        if (i > 0) dvar += (det[i] - det[i - 1]) * (det[i] - det[i - 1]);
+    }
+    var /= det.size();
+    dvar /= (det.size() - 1);
+    // For an AR(1) with coefficient a: E[(x_t - x_{t-1})^2] = 2(1-a) var.
+    // With a = 0.6 that's 0.8 var < 2 var (i.i.d. would give 2 var).
+    EXPECT_LT(dvar, 1.6 * var);
+}
+
+}  // namespace
+}  // namespace qoc::device

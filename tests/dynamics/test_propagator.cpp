@@ -1,0 +1,111 @@
+#include "dynamics/propagator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "linalg/expm.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/operators.hpp"
+#include "quantum/superop.hpp"
+
+namespace qoc::dynamics {
+namespace {
+
+using linalg::cplx;
+using quantum::sigma_minus;
+using quantum::sigma_x;
+using quantum::sigma_y;
+using quantum::sigma_z;
+constexpr cplx kI{0.0, 1.0};
+
+TEST(PwcSystem, GeneratorAssembly) {
+    PwcSystem sys{0.5 * sigma_z(), {sigma_x(), sigma_y()}};
+    const Mat g = sys.generator({0.3, -0.7});
+    EXPECT_TRUE(g.approx_equal(0.5 * sigma_z() + 0.3 * sigma_x() - 0.7 * sigma_y(), 1e-14));
+    EXPECT_THROW(sys.generator({0.3}), std::invalid_argument);
+}
+
+TEST(PwcUnitary, ConstantPulseImplementsRotation) {
+    // Drive sigma_x/2 at amplitude Omega for time t: RX(Omega * t).
+    PwcSystem sys{Mat(2, 2), {0.5 * sigma_x()}};
+    const double omega = 0.8, dt = 0.1;
+    const std::size_t n = 20;
+    ControlAmplitudes amps(n, {omega});
+    const auto props = pwc_unitary_propagators(sys, amps, dt);
+    const Mat total = chain_product(props);
+    const Mat expect = quantum::gates::rx(omega * dt * static_cast<double>(n));
+    EXPECT_TRUE(total.approx_equal(expect, 1e-11));
+}
+
+TEST(PwcUnitary, PiPulseMakesX) {
+    PwcSystem sys{Mat(2, 2), {0.5 * sigma_x()}};
+    const std::size_t n = 16;
+    const double total_t = 1.0;
+    ControlAmplitudes amps(n, {std::numbers::pi / total_t});
+    const auto props = pwc_unitary_propagators(sys, amps, total_t / n);
+    EXPECT_TRUE(linalg::equal_up_to_phase(chain_product(props), quantum::gates::x(), 1e-10));
+}
+
+TEST(PwcUnitary, PropagatorsAreUnitary) {
+    PwcSystem sys{0.2 * sigma_z(), {sigma_x(), sigma_y()}};
+    ControlAmplitudes amps{{0.5, 0.1}, {-0.4, 0.9}, {0.0, 0.0}};
+    for (const Mat& p : pwc_unitary_propagators(sys, amps, 0.37)) {
+        EXPECT_TRUE(p.is_unitary(1e-12));
+    }
+}
+
+TEST(PwcSuperop, TracePreservingChain) {
+    const Mat l0 = quantum::liouvillian(0.4 * sigma_z(), {std::sqrt(0.03) * sigma_minus()});
+    const Mat lx = quantum::liouvillian_hamiltonian(sigma_x());
+    PwcSystem sys{l0, {lx}};
+    ControlAmplitudes amps{{0.7}, {0.1}, {-0.3}};
+    const auto props = pwc_superop_propagators(sys, amps, 0.5);
+    const Mat total = chain_product(props);
+    EXPECT_TRUE(quantum::is_trace_preserving(total, 1e-9));
+}
+
+TEST(PwcSuperop, ReducesToUnitaryWithoutDissipation) {
+    // Without collapse operators the superop chain equals the unitary
+    // conjugation superoperator of the unitary chain.
+    PwcSystem usys{0.3 * sigma_z(), {sigma_x()}};
+    ControlAmplitudes amps{{0.9}, {-0.2}, {0.5}, {0.0}};
+    const double dt = 0.21;
+    const Mat u = chain_product(pwc_unitary_propagators(usys, amps, dt));
+
+    PwcSystem lsys{quantum::liouvillian_hamiltonian(usys.drift),
+                   {quantum::liouvillian_hamiltonian(usys.ctrls[0])}};
+    const Mat s = chain_product(pwc_superop_propagators(lsys, amps, dt));
+    EXPECT_TRUE(s.approx_equal(quantum::unitary_superop(u), 1e-10));
+}
+
+TEST(Products, ForwardBackwardConsistency) {
+    PwcSystem sys{0.2 * sigma_z(), {sigma_x()}};
+    ControlAmplitudes amps{{0.3}, {0.6}, {-0.1}, {0.8}, {0.2}};
+    const auto props = pwc_unitary_propagators(sys, amps, 0.4);
+    const auto fwd = forward_products(props);
+    const auto bwd = backward_products(props);
+    const Mat total = chain_product(props);
+
+    EXPECT_TRUE(fwd.back().approx_equal(total, 1e-12));
+    EXPECT_TRUE(bwd.back().approx_equal(Mat::identity(2), 1e-14));
+    // total = bwd[k] * P_{k+1} * fwd[k-1] for every k.
+    for (std::size_t k = 0; k < props.size(); ++k) {
+        Mat rebuilt = bwd[k] * props[k];
+        if (k > 0) rebuilt = rebuilt * fwd[k - 1];
+        EXPECT_TRUE(rebuilt.approx_equal(total, 1e-11)) << "k=" << k;
+    }
+}
+
+TEST(Products, EmptyChainThrows) {
+    EXPECT_THROW(chain_product({}), std::invalid_argument);
+}
+
+TEST(PwcUnitary, AmplitudeCountValidated) {
+    PwcSystem sys{Mat(2, 2), {sigma_x(), sigma_y()}};
+    ControlAmplitudes bad{{0.1}};
+    EXPECT_THROW(pwc_unitary_propagators(sys, bad, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoc::dynamics

@@ -1,0 +1,95 @@
+#include "experiments/irb_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiments/gate_designer.hpp"
+#include "experiments/report.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/superop.hpp"
+
+namespace qoc::experiments {
+namespace {
+
+namespace g = quantum::gates;
+
+class IrbExperimentTest : public ::testing::Test {
+protected:
+    static device::PulseExecutor& exec() {
+        static device::PulseExecutor instance{device::ibmq_montreal()};
+        return instance;
+    }
+    static const pulse::InstructionScheduleMap& defaults() {
+        static pulse::InstructionScheduleMap map = device::build_default_gates(exec());
+        return map;
+    }
+    static const rb::Clifford1Q& c1() {
+        static rb::Clifford1Q group;
+        return group;
+    }
+};
+
+TEST_F(IrbExperimentTest, DefaultHSuperopActsAsHadamard) {
+    const auto sup = default_gate_superop_1q(exec(), defaults(), "h", 0);
+    const auto rho = quantum::apply_superop(sup, exec().ground_state_1q());
+    // Inherits the intentional default-sx amplitude miscalibration.
+    EXPECT_NEAR(rho(0, 0).real(), 0.5, 0.06);
+    EXPECT_NEAR(rho(0, 1).real(), 0.5, 0.06);
+}
+
+TEST_F(IrbExperimentTest, UnknownGateThrows) {
+    EXPECT_THROW(default_gate_superop_1q(exec(), defaults(), "t", 0), std::invalid_argument);
+}
+
+TEST_F(IrbExperimentTest, HistogramDefaultXMostlyOne) {
+    const auto counts =
+        state_histogram_1q(exec(), defaults(), "x", 0, nullptr, 4096, 11);
+    EXPECT_GT(counts.probability("1"), 0.9);
+    EXPECT_EQ(counts.shots, 4096);
+}
+
+TEST_F(IrbExperimentTest, HistogramCustomGateUsed) {
+    // A deliberately bad custom "x" (empty schedule = identity) must leave
+    // the qubit in |0>, proving the calibration really shadows the default.
+    pulse::Schedule idle("bad_x");
+    idle.insert(0, pulse::Delay{16, pulse::drive_channel(0)});
+    const auto counts = state_histogram_1q(exec(), defaults(), "x", 0, &idle, 4096, 13);
+    EXPECT_GT(counts.probability("0"), 0.9);
+}
+
+TEST_F(IrbExperimentTest, CompareXCustomVsDefault) {
+    GateDesignSpec spec;
+    spec.target = g::x();
+    spec.duration_dt = 480;
+    spec.n_timeslots = 32;
+    spec.model = DesignModel::kThreeLevelOpen;
+    const auto designed =
+        design_1q_gate(device::nominal_model(exec().config()), 0, "x", spec);
+
+    rb::RbOptions opts;
+    opts.lengths = {1, 300, 800, 1500, 2500};
+    opts.seeds_per_length = 4;
+    opts.shots = 4096;
+    const GateComparison cmp =
+        compare_1q_gate(exec(), defaults(), "x", 0, designed.schedule, c1(), opts);
+
+    // Both error rates at the paper's 1e-4 scale.
+    EXPECT_GT(cmp.custom.gate_error, 1e-5);
+    EXPECT_LT(cmp.custom.gate_error, 3e-3);
+    EXPECT_GT(cmp.standard.gate_error, 1e-5);
+    EXPECT_LT(cmp.standard.gate_error, 3e-3);
+}
+
+TEST_F(IrbExperimentTest, CxHistogramExpects11) {
+    const auto counts = state_histogram_cx(exec(), defaults(), nullptr, 4096, 17);
+    EXPECT_GT(counts.probability("11"), 0.75);
+}
+
+TEST(Report, FormatErrorRate) {
+    EXPECT_EQ(format_error_rate(1.97e-4, 4.94e-5), "1.97(49)e-04");
+    EXPECT_EQ(format_error_rate(5.6e-3, 9.2e-4), "5.60(92)e-03");
+    // Zero/negative handled gracefully.
+    EXPECT_FALSE(format_error_rate(0.0, 1e-5).empty());
+}
+
+}  // namespace
+}  // namespace qoc::experiments

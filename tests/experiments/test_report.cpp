@@ -1,0 +1,65 @@
+/// Smoke/format tests of the console reporting helpers every bench uses.
+
+#include <gtest/gtest.h>
+
+#include "experiments/report.hpp"
+
+namespace qoc::experiments {
+namespace {
+
+TEST(Report, ErrorRateFormatsAcrossDecades) {
+    EXPECT_EQ(format_error_rate(1.97e-4, 4.94e-5), "1.97(49)e-04");
+    EXPECT_EQ(format_error_rate(6.18e-3, 1.33e-3), "6.18(133)e-03");
+    EXPECT_EQ(format_error_rate(1.0, 0.1), "1.00(10)e+00");
+    // Tiny error shows as (0) rather than crashing.
+    EXPECT_EQ(format_error_rate(2.0e-4, 1e-9), "2.00(0)e-04");
+}
+
+TEST(Report, TableHandlesRaggedAndUnicodeSafeWidths) {
+    testing::internal::CaptureStdout();
+    print_table("t", {"a", "long header"},
+                {{"1", "2"}, {"wide cell value", "x"}, {"short"}});
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("long header"), std::string::npos);
+    EXPECT_NE(out.find("wide cell value"), std::string::npos);
+}
+
+TEST(Report, RbCurvePrintsFitAndPoints) {
+    rb::RbCurve curve;
+    curve.a = 0.5;
+    curve.alpha = 0.995;
+    curve.b = 0.5;
+    curve.epc = 2.5e-3;
+    curve.epc_err = 1e-4;
+    curve.points = {{1, 0.99, 0.001}, {50, 0.89, 0.003}};
+    testing::internal::CaptureStdout();
+    print_rb_curve("label", curve);
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("EPC"), std::string::npos);
+    EXPECT_NE(out.find("m=   50"), std::string::npos);
+}
+
+TEST(Report, HistogramBarsScaleWithProbability) {
+    device::Counts c;
+    c.shots = 100;
+    c.histogram["0"] = 90;
+    c.histogram["1"] = 10;
+    testing::internal::CaptureStdout();
+    print_histogram("h", c);
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("90.00%"), std::string::npos);
+    EXPECT_NE(out.find("10.00%"), std::string::npos);
+}
+
+TEST(Report, PulseRenderingHandlesConstantsAndEmpty) {
+    testing::internal::CaptureStdout();
+    print_pulse("flat", std::vector<double>(16, 0.5));
+    print_pulse("empty", {});
+    print_waveform("wave", {{0.1, -0.1}, {0.2, 0.0}});
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("flat"), std::string::npos);
+    EXPECT_NE(out.find("wave"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoc::experiments

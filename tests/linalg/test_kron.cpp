@@ -1,0 +1,89 @@
+#include "linalg/kron.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoc::linalg {
+namespace {
+
+constexpr cplx kI{0.0, 1.0};
+
+TEST(Kron, ShapesMultiply) {
+    Mat a(2, 3), b(4, 5);
+    const Mat k = kron(a, b);
+    EXPECT_EQ(k.rows(), 8u);
+    EXPECT_EQ(k.cols(), 15u);
+}
+
+TEST(Kron, IdentityKronIdentity) {
+    EXPECT_TRUE(kron(Mat::identity(2), Mat::identity(3)).approx_equal(Mat::identity(6)));
+}
+
+TEST(Kron, HandComputed2x2) {
+    Mat a{{1.0, 2.0}, {3.0, 4.0}};
+    Mat b{{0.0, 1.0}, {1.0, 0.0}};
+    const Mat k = kron(a, b);
+    // Top-left 2x2 block is 1*b.
+    EXPECT_EQ(k(0, 1), cplx(1.0, 0.0));
+    EXPECT_EQ(k(1, 0), cplx(1.0, 0.0));
+    // Top-right block is 2*b.
+    EXPECT_EQ(k(0, 3), cplx(2.0, 0.0));
+    // Bottom-right block is 4*b.
+    EXPECT_EQ(k(3, 2), cplx(4.0, 0.0));
+}
+
+TEST(Kron, MixedProductProperty) {
+    // (A (x) B)(C (x) D) = (AC) (x) (BD)
+    Mat a{{1.0, kI}, {0.0, 2.0}};
+    Mat b{{2.0, 0.0}, {1.0, 1.0}};
+    Mat c{{0.0, 1.0}, {1.0, 0.0}};
+    Mat d{{1.0, 1.0}, {0.0, kI}};
+    const Mat lhs = kron(a, b) * kron(c, d);
+    const Mat rhs = kron(a * c, b * d);
+    EXPECT_TRUE(lhs.approx_equal(rhs, 1e-13));
+}
+
+TEST(Kron, KronAllAssociativity) {
+    Mat a{{1.0, 0.0}, {0.0, -1.0}};
+    Mat b{{0.0, 1.0}, {1.0, 0.0}};
+    Mat c{{2.0}};
+    const Mat left = kron(kron(a, b), c);
+    const Mat viaList = kron_all({a, b, c});
+    EXPECT_TRUE(left.approx_equal(viaList, 1e-14));
+    EXPECT_THROW(kron_all({}), std::invalid_argument);
+}
+
+TEST(Vec, RoundTrip) {
+    Mat a{{1.0, 2.0}, {cplx{0.0, 3.0}, 4.0}};
+    const Mat v = vec(a);
+    EXPECT_EQ(v.rows(), 4u);
+    EXPECT_EQ(v.cols(), 1u);
+    EXPECT_TRUE(unvec(v, 2).approx_equal(a));
+}
+
+TEST(Vec, ColumnStackingConvention) {
+    Mat a{{1.0, 3.0}, {2.0, 4.0}};
+    const Mat v = vec(a);
+    EXPECT_EQ(v(0, 0), cplx(1.0, 0.0));
+    EXPECT_EQ(v(1, 0), cplx(2.0, 0.0));
+    EXPECT_EQ(v(2, 0), cplx(3.0, 0.0));
+    EXPECT_EQ(v(3, 0), cplx(4.0, 0.0));
+}
+
+TEST(Vec, SuperopIdentityVecAXB) {
+    // vec(A X B) = (B^T (x) A) vec(X) -- the identity the Liouvillian
+    // construction in qoc::quantum relies on.
+    Mat a{{1.0, kI}, {2.0, 0.0}};
+    Mat x{{0.5, 1.0}, {cplx{0.0, -1.0}, 2.0}};
+    Mat b{{1.0, 1.0}, {0.0, 3.0}};
+    const Mat lhs = vec(a * x * b);
+    const Mat rhs = kron(b.transpose(), a) * vec(x);
+    EXPECT_TRUE(lhs.approx_equal(rhs, 1e-13));
+}
+
+TEST(Vec, UnvecChecksShape) {
+    EXPECT_THROW(unvec(Mat(3, 1), 2), std::invalid_argument);
+    EXPECT_THROW(unvec(Mat(4, 2), 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoc::linalg

@@ -1,0 +1,214 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qoc::linalg {
+namespace {
+
+constexpr cplx kI{0.0, 1.0};
+
+TEST(Matrix, DefaultIsEmpty) {
+    Mat m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, SizeConstructorZeroFills) {
+    Mat m(3, 2);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 2; ++j) EXPECT_EQ(m(i, j), cplx(0.0, 0.0));
+}
+
+TEST(Matrix, InitializerList) {
+    Mat m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m(0, 1), cplx(2.0, 0.0));
+    EXPECT_EQ(m(1, 0), cplx(3.0, 0.0));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+    EXPECT_THROW((Mat{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, VectorConstructorChecksSize) {
+    EXPECT_THROW(Mat(2, 2, {cplx{1.0}, cplx{2.0}}), std::invalid_argument);
+    Mat m(1, 2, {cplx{1.0}, cplx{2.0}});
+    EXPECT_EQ(m(0, 1), cplx(2.0, 0.0));
+}
+
+TEST(Matrix, Identity) {
+    const Mat ident = Mat::identity(4);
+    EXPECT_EQ(ident.trace(), cplx(4.0, 0.0));
+    EXPECT_TRUE(ident.is_unitary());
+    EXPECT_TRUE(ident.is_hermitian());
+}
+
+TEST(Matrix, DiagAndColVector) {
+    const Mat d = Mat::diag({cplx{1.0}, cplx{2.0}});
+    EXPECT_EQ(d(1, 1), cplx(2.0, 0.0));
+    EXPECT_EQ(d(0, 1), cplx(0.0, 0.0));
+    const Mat v = Mat::col_vector({cplx{1.0}, kI});
+    EXPECT_EQ(v.rows(), 2u);
+    EXPECT_EQ(v.cols(), 1u);
+    EXPECT_EQ(v(1, 0), kI);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+    Mat m(2, 2);
+    EXPECT_THROW(m.at(2, 0), std::out_of_range);
+    EXPECT_THROW(m.at(0, 2), std::out_of_range);
+    EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, AddSubtract) {
+    Mat a{{1.0, 2.0}, {3.0, 4.0}};
+    Mat b{{4.0, 3.0}, {2.0, 1.0}};
+    const Mat s = a + b;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j) EXPECT_EQ(s(i, j), cplx(5.0, 0.0));
+    const Mat d = a - a;
+    EXPECT_NEAR(d.max_abs(), 0.0, 1e-15);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+    Mat a(2, 2), b(2, 3);
+    EXPECT_THROW(a += b, std::invalid_argument);
+    EXPECT_THROW(a -= b, std::invalid_argument);
+    EXPECT_THROW(b * a, std::invalid_argument);
+}
+
+TEST(Matrix, ScalarMultiply) {
+    Mat a{{1.0, 0.0}, {0.0, 1.0}};
+    const Mat b = a * kI;
+    EXPECT_EQ(b(0, 0), kI);
+    const Mat c = 2.0 * a;
+    EXPECT_EQ(c(1, 1), cplx(2.0, 0.0));
+}
+
+TEST(Matrix, ProductAgainstHandComputed) {
+    Mat a{{1.0, 2.0}, {3.0, 4.0}};
+    Mat b{{5.0, 6.0}, {7.0, 8.0}};
+    const Mat c = a * b;
+    EXPECT_EQ(c(0, 0), cplx(19.0, 0.0));
+    EXPECT_EQ(c(0, 1), cplx(22.0, 0.0));
+    EXPECT_EQ(c(1, 0), cplx(43.0, 0.0));
+    EXPECT_EQ(c(1, 1), cplx(50.0, 0.0));
+}
+
+TEST(Matrix, ProductComplexEntries) {
+    Mat a{{kI}};
+    Mat b{{kI}};
+    EXPECT_EQ((a * b)(0, 0), cplx(-1.0, 0.0));
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+    Mat a{{cplx{1.0, 2.0}, cplx{3.0, 4.0}}, {cplx{5.0, 6.0}, cplx{7.0, 8.0}}};
+    const Mat ad = a.adjoint();
+    EXPECT_EQ(ad(0, 1), cplx(5.0, -6.0));
+    EXPECT_EQ(ad(1, 0), cplx(3.0, -4.0));
+    EXPECT_TRUE(a.transpose().conj().approx_equal(ad));
+}
+
+TEST(Matrix, AdjointTimesMatchesExplicit) {
+    Mat a{{cplx{1.0, 1.0}, 2.0}, {0.0, cplx{0.0, -3.0}}};
+    Mat b{{1.0, cplx{0.0, 1.0}}, {2.0, 3.0}};
+    EXPECT_TRUE(adjoint_times(a, b).approx_equal(a.adjoint() * b, 1e-14));
+}
+
+TEST(Matrix, HsInnerMatchesTraceForm) {
+    Mat a{{cplx{1.0, 1.0}, 2.0}, {0.5, cplx{0.0, -3.0}}};
+    Mat b{{1.0, cplx{0.0, 1.0}}, {2.0, 3.0}};
+    const cplx direct = hs_inner(a, b);
+    const cplx via_trace = (a.adjoint() * b).trace();
+    EXPECT_NEAR(std::abs(direct - via_trace), 0.0, 1e-13);
+}
+
+TEST(Matrix, TraceRequiresSquare) {
+    Mat m(2, 3);
+    EXPECT_THROW(m.trace(), std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusAndMaxNorms) {
+    Mat m{{3.0, 0.0}, {0.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+    EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, OneNormIsMaxColumnSum) {
+    Mat m{{1.0, -2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m.norm_1(), 6.0);
+}
+
+TEST(Matrix, HermitianDetection) {
+    Mat h{{2.0, cplx{1.0, 1.0}}, {cplx{1.0, -1.0}, 3.0}};
+    EXPECT_TRUE(h.is_hermitian());
+    Mat nh{{2.0, cplx{1.0, 1.0}}, {cplx{1.0, 1.0}, 3.0}};
+    EXPECT_FALSE(nh.is_hermitian());
+}
+
+TEST(Matrix, UnitaryDetection) {
+    const double r = 1.0 / std::sqrt(2.0);
+    Mat h{{r, r}, {r, -r}};
+    EXPECT_TRUE(h.is_unitary());
+    Mat not_u{{1.0, 0.0}, {0.0, 2.0}};
+    EXPECT_FALSE(not_u.is_unitary());
+}
+
+TEST(Matrix, BlockExtractAndSet) {
+    Mat m(3, 3);
+    Mat b{{1.0, 2.0}, {3.0, 4.0}};
+    m.set_block(1, 1, b);
+    EXPECT_EQ(m(2, 2), cplx(4.0, 0.0));
+    EXPECT_TRUE(m.block(1, 1, 2, 2).approx_equal(b));
+    EXPECT_THROW(m.block(2, 2, 2, 2), std::out_of_range);
+    EXPECT_THROW(m.set_block(2, 2, b), std::out_of_range);
+}
+
+TEST(Matrix, RowAndColViews) {
+    Mat m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.col(1)(0, 0), cplx(2.0, 0.0));
+    EXPECT_EQ(m.row(1)(0, 1), cplx(4.0, 0.0));
+}
+
+TEST(Matrix, CommutatorOfCommutingIsZero) {
+    Mat a = Mat::diag({cplx{1.0}, cplx{2.0}});
+    Mat b = Mat::diag({cplx{3.0}, cplx{4.0}});
+    EXPECT_NEAR(commutator(a, b).max_abs(), 0.0, 1e-15);
+}
+
+TEST(Matrix, AnticommutatorPauli) {
+    Mat sx{{0.0, 1.0}, {1.0, 0.0}};
+    Mat sy{{0.0, -kI}, {kI, 0.0}};
+    EXPECT_NEAR(anticommutator(sx, sy).max_abs(), 0.0, 1e-15);
+    const Mat sx2 = anticommutator(sx, sx);
+    EXPECT_TRUE(sx2.approx_equal(2.0 * Mat::identity(2), 1e-15));
+}
+
+TEST(Matrix, EqualUpToPhase) {
+    Mat a{{0.0, 1.0}, {1.0, 0.0}};
+    const Mat b = a * kI;
+    EXPECT_TRUE(equal_up_to_phase(a, b));
+    EXPECT_TRUE(equal_up_to_phase(b, a));
+    Mat c{{0.0, 1.0}, {-1.0, 0.0}};
+    EXPECT_FALSE(equal_up_to_phase(a, c));
+}
+
+TEST(Matrix, EqualUpToPhaseRejectsNonUnitPhase) {
+    Mat a{{1.0, 0.0}, {0.0, 1.0}};
+    const Mat b = 2.0 * a;
+    EXPECT_FALSE(equal_up_to_phase(b, a));
+}
+
+TEST(Matrix, StreamOutputContainsEntries) {
+    Mat m{{1.0, 0.0}, {0.0, 1.0}};
+    std::ostringstream os;
+    os << m;
+    EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoc::linalg

@@ -1,0 +1,188 @@
+#include "optim/lbfgsb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qoc::optim {
+namespace {
+
+/// N-dimensional Rosenbrock: global minimum at (1, ..., 1) with f = 0.
+double rosenbrock(const std::vector<double>& x, std::vector<double>& g) {
+    const std::size_t n = x.size();
+    g.assign(n, 0.0);
+    double f = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double a = x[i + 1] - x[i] * x[i];
+        const double b = 1.0 - x[i];
+        f += 100.0 * a * a + b * b;
+        g[i] += -400.0 * a * x[i] - 2.0 * b;
+        g[i + 1] += 200.0 * a;
+    }
+    return f;
+}
+
+/// Convex quadratic with distinct curvatures, minimum at center c.
+Objective quadratic(std::vector<double> c) {
+    return [c = std::move(c)](const std::vector<double>& x, std::vector<double>& g) {
+        g.assign(x.size(), 0.0);
+        double f = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double w = 1.0 + static_cast<double>(i);
+            f += 0.5 * w * (x[i] - c[i]) * (x[i] - c[i]);
+            g[i] = w * (x[i] - c[i]);
+        }
+        return f;
+    };
+}
+
+TEST(LbfgsB, QuadraticUnbounded) {
+    const std::vector<double> c{1.0, -2.0, 3.0, 0.5};
+    const auto res = lbfgsb_minimize(quadratic(c), {0.0, 0.0, 0.0, 0.0},
+                                     Bounds::unbounded(4));
+    ASSERT_EQ(res.x.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(res.x[i], c[i], 1e-6);
+    EXPECT_LT(res.f, 1e-12);
+}
+
+TEST(LbfgsB, QuadraticWithActiveBounds) {
+    // Minimum at (1, -2, 3) but box is [0, 2]^3: solution clips to (1, 0, 2).
+    const auto res = lbfgsb_minimize(quadratic({1.0, -2.0, 3.0}), {0.5, 0.5, 0.5},
+                                     Bounds::uniform(3, 0.0, 2.0));
+    EXPECT_NEAR(res.x[0], 1.0, 1e-6);
+    EXPECT_NEAR(res.x[1], 0.0, 1e-8);
+    EXPECT_NEAR(res.x[2], 2.0, 1e-8);
+}
+
+TEST(LbfgsB, Rosenbrock2D) {
+    const auto res = lbfgsb_minimize(rosenbrock, {-1.2, 1.0}, Bounds::unbounded(2),
+                                     {.max_iterations = 1000});
+    EXPECT_NEAR(res.x[0], 1.0, 1e-5);
+    EXPECT_NEAR(res.x[1], 1.0, 1e-5);
+    EXPECT_LT(res.f, 1e-10);
+}
+
+TEST(LbfgsB, Rosenbrock10D) {
+    std::vector<double> x0(10, -1.0);
+    const auto res = lbfgsb_minimize(rosenbrock, x0, Bounds::unbounded(10),
+                                     {.max_iterations = 3000, .max_evaluations = 20000});
+    for (double v : res.x) EXPECT_NEAR(v, 1.0, 1e-4);
+}
+
+TEST(LbfgsB, RosenbrockBoundedAwayFromMinimum) {
+    // Box [-2, 0.5]^2 excludes (1,1); the constrained solution rides the
+    // x0 = 0.5 bound (known result: x = (0.5, 0.25)).
+    const auto res = lbfgsb_minimize(rosenbrock, {-1.0, -1.0},
+                                     Bounds::uniform(2, -2.0, 0.5),
+                                     {.max_iterations = 2000});
+    EXPECT_NEAR(res.x[0], 0.5, 1e-6);
+    EXPECT_NEAR(res.x[1], 0.25, 1e-5);
+}
+
+TEST(LbfgsB, BealeFunction) {
+    // Beale: min at (3, 0.5), f = 0.
+    Objective beale = [](const std::vector<double>& x, std::vector<double>& g) {
+        const double a = 1.5 - x[0] + x[0] * x[1];
+        const double b = 2.25 - x[0] + x[0] * x[1] * x[1];
+        const double c = 2.625 - x[0] + x[0] * x[1] * x[1] * x[1];
+        g.assign(2, 0.0);
+        g[0] = 2.0 * a * (x[1] - 1.0) + 2.0 * b * (x[1] * x[1] - 1.0) +
+               2.0 * c * (x[1] * x[1] * x[1] - 1.0);
+        g[1] = 2.0 * a * x[0] + 2.0 * b * 2.0 * x[0] * x[1] +
+               2.0 * c * 3.0 * x[0] * x[1] * x[1];
+        return a * a + b * b + c * c;
+    };
+    const auto res = lbfgsb_minimize(beale, {1.0, 1.0}, Bounds::uniform(2, -4.5, 4.5),
+                                     {.max_iterations = 1000});
+    EXPECT_NEAR(res.x[0], 3.0, 1e-4);
+    EXPECT_NEAR(res.x[1], 0.5, 1e-4);
+}
+
+TEST(LbfgsB, StartOutsideBoxIsClipped) {
+    const auto res = lbfgsb_minimize(quadratic({0.0, 0.0}), {10.0, -10.0},
+                                     Bounds::uniform(2, -1.0, 1.0));
+    EXPECT_NEAR(res.x[0], 0.0, 1e-7);
+    EXPECT_NEAR(res.x[1], 0.0, 1e-7);
+}
+
+TEST(LbfgsB, TargetObjectiveStopsEarly) {
+    LbfgsBOptions opts;
+    opts.target_f = 1.0;
+    const auto res = lbfgsb_minimize(rosenbrock, {-1.2, 1.0}, Bounds::unbounded(2), opts);
+    EXPECT_EQ(res.reason, StopReason::kTargetReached);
+    EXPECT_LE(res.f, 1.0);
+}
+
+TEST(LbfgsB, MaxIterationsRespected) {
+    LbfgsBOptions opts;
+    opts.max_iterations = 2;
+    opts.pg_tol = 0.0;
+    opts.f_tol = 0.0;
+    const auto res = lbfgsb_minimize(rosenbrock, {-1.2, 1.0}, Bounds::unbounded(2), opts);
+    EXPECT_LE(res.iterations, 2);
+}
+
+TEST(LbfgsB, CallbackObservesMonotoneDecrease) {
+    std::vector<double> history;
+    LbfgsBOptions opts;
+    opts.callback = [&](int, double f, double) { history.push_back(f); };
+    lbfgsb_minimize(rosenbrock, {-1.2, 1.0}, Bounds::unbounded(2), opts);
+    ASSERT_GT(history.size(), 2u);
+    for (std::size_t i = 1; i < history.size(); ++i) EXPECT_LE(history[i], history[i - 1] + 1e-12);
+}
+
+TEST(LbfgsB, MismatchedBoundsThrow) {
+    Bounds b = Bounds::unbounded(3);
+    EXPECT_THROW(lbfgsb_minimize(quadratic({0.0, 0.0}), {0.0, 0.0}, b), std::invalid_argument);
+    Bounds bad = Bounds::uniform(2, 1.0, -1.0);
+    EXPECT_THROW(lbfgsb_minimize(quadratic({0.0, 0.0}), {0.0, 0.0}, bad),
+                 std::invalid_argument);
+}
+
+TEST(LbfgsB, AlreadyAtMinimumConvergesImmediately) {
+    const auto res = lbfgsb_minimize(quadratic({1.0, 1.0}), {1.0, 1.0}, Bounds::unbounded(2));
+    EXPECT_EQ(res.reason, StopReason::kConverged);
+    EXPECT_LE(res.iterations, 1);
+}
+
+TEST(LbfgsB, TightBoxPinsAllVariables) {
+    // Degenerate box [0.3, 0.3]^2: nothing to optimize, stays at corner.
+    const auto res = lbfgsb_minimize(quadratic({1.0, 1.0}), {0.3, 0.3},
+                                     Bounds::uniform(2, 0.3, 0.3));
+    EXPECT_DOUBLE_EQ(res.x[0], 0.3);
+    EXPECT_DOUBLE_EQ(res.x[1], 0.3);
+}
+
+/// Property-style sweep: random convex quadratics with random boxes must
+/// converge to the clipped center (the exact solution for separable
+/// quadratics).
+class LbfgsBQuadraticSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LbfgsBQuadraticSweep, SolvesSeparableBoundedQuadratic) {
+    const int seed = GetParam();
+    std::srand(static_cast<unsigned>(seed));
+    const std::size_t n = 5 + static_cast<std::size_t>(seed % 7);
+    std::vector<double> c(n);
+    Bounds b;
+    b.lower.resize(n);
+    b.upper.resize(n);
+    auto rnd = [] { return -3.0 + 6.0 * (static_cast<double>(std::rand()) / RAND_MAX); };
+    for (std::size_t i = 0; i < n; ++i) {
+        c[i] = rnd();
+        const double lo = rnd(), hi = rnd();
+        b.lower[i] = std::min(lo, hi);
+        b.upper[i] = std::max(lo, hi) + 0.1;
+    }
+    std::vector<double> x0(n, 0.0);
+    b.clip(x0);
+    const auto res = lbfgsb_minimize(quadratic(c), x0, b, {.max_iterations = 500});
+    for (std::size_t i = 0; i < n; ++i) {
+        const double expect = std::clamp(c[i], b.lower[i], b.upper[i]);
+        EXPECT_NEAR(res.x[i], expect, 1e-5) << "i=" << i << " seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbfgsBQuadraticSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace qoc::optim

@@ -1,0 +1,100 @@
+#include "optim/levmar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qoc::optim {
+namespace {
+
+TEST(LevMar, LinearFitExact) {
+    // y = 2x + 1, exact data: fit must recover coefficients to high accuracy.
+    const std::size_t n = 10;
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) y[i] = 2.0 * static_cast<double>(i) + 1.0;
+    auto model = [](std::size_t i, const std::vector<double>& p) {
+        return p[0] * static_cast<double>(i) + p[1];
+    };
+    const auto fit = levmar_fit(model, n, y, {0.5, 0.0});
+    EXPECT_NEAR(fit.params[0], 2.0, 1e-8);
+    EXPECT_NEAR(fit.params[1], 1.0, 1e-8);
+    EXPECT_LT(fit.chi2, 1e-12);
+}
+
+TEST(LevMar, ExponentialDecayRecovery) {
+    // The RB model A * alpha^m + B with known parameters and mild noise.
+    const double A = 0.5, alpha = 0.995, B = 0.5;
+    std::vector<double> lengths;
+    for (int m = 1; m <= 400; m += 20) lengths.push_back(m);
+    const std::size_t n = lengths.size();
+    std::vector<double> y(n);
+    std::mt19937 rng(7);
+    std::normal_distribution<double> noise(0.0, 1e-4);
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] = A * std::pow(alpha, lengths[i]) + B + noise(rng);
+    }
+    auto model = [&](std::size_t i, const std::vector<double>& p) {
+        return p[0] * std::pow(p[1], lengths[i]) + p[2];
+    };
+    const auto fit = levmar_fit(model, n, y, {0.4, 0.99, 0.4});
+    EXPECT_NEAR(fit.params[0], A, 5e-3);
+    EXPECT_NEAR(fit.params[1], alpha, 2e-4);
+    EXPECT_NEAR(fit.params[2], B, 5e-3);
+    EXPECT_TRUE(fit.converged);
+    // Uncertainty should bracket the truth at ~3 sigma.
+    EXPECT_LT(std::abs(fit.params[1] - alpha), 4.0 * fit.stderrs[1] + 1e-6);
+}
+
+TEST(LevMar, WeightsChangeSolution) {
+    // Two inconsistent points; weights decide which one dominates.
+    std::vector<double> y{0.0, 1.0};
+    auto model = [](std::size_t, const std::vector<double>& p) { return p[0]; };
+    const auto heavy0 = levmar_fit(model, 2, y, {0.5}, {0.01, 1.0});
+    EXPECT_NEAR(heavy0.params[0], 0.0, 1e-3);
+    const auto heavy1 = levmar_fit(model, 2, y, {0.5}, {1.0, 0.01});
+    EXPECT_NEAR(heavy1.params[0], 1.0, 1e-3);
+}
+
+TEST(LevMar, StderrScalesWithNoise) {
+    auto run = [](double noise_sd, unsigned seed) {
+        const std::size_t n = 50;
+        std::vector<double> y(n);
+        std::mt19937 rng(seed);
+        std::normal_distribution<double> noise(0.0, noise_sd);
+        for (std::size_t i = 0; i < n; ++i) y[i] = 3.0 + noise(rng);
+        auto model = [](std::size_t, const std::vector<double>& p) { return p[0]; };
+        return levmar_fit(model, n, y, {0.0});
+    };
+    const auto lo = run(0.01, 3);
+    const auto hi = run(0.1, 3);
+    EXPECT_GT(hi.stderrs[0], 3.0 * lo.stderrs[0]);
+}
+
+TEST(LevMar, InputValidation) {
+    auto model = [](std::size_t, const std::vector<double>& p) { return p[0]; };
+    EXPECT_THROW(levmar_fit(model, 3, {1.0, 2.0}, {0.0}), std::invalid_argument);
+    EXPECT_THROW(levmar_fit(model, 2, {1.0, 2.0}, {0.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(levmar_fit(model, 1, {1.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(LevMar, CosineRabiFit) {
+    // Rabi calibration model: p0 * cos(2*pi*p1*x + p2) + p3.
+    const std::size_t n = 60;
+    std::vector<double> xs(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = static_cast<double>(i) / n;
+        y[i] = 0.45 * std::cos(2.0 * M_PI * 2.2 * xs[i] + 0.3) + 0.5;
+    }
+    auto model = [&](std::size_t i, const std::vector<double>& p) {
+        return p[0] * std::cos(2.0 * M_PI * p[1] * xs[i] + p[2]) + p[3];
+    };
+    const auto fit = levmar_fit(model, n, y, {0.4, 2.0, 0.0, 0.5});
+    EXPECT_NEAR(fit.params[0], 0.45, 1e-6);
+    EXPECT_NEAR(fit.params[1], 2.2, 1e-6);
+    EXPECT_NEAR(fit.params[2], 0.3, 1e-5);
+    EXPECT_NEAR(fit.params[3], 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace qoc::optim

@@ -1,0 +1,68 @@
+#include "optim/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qoc::optim {
+namespace {
+
+double sphere(const std::vector<double>& x) {
+    double f = 0.0;
+    for (double v : x) f += v * v;
+    return f;
+}
+
+double rosenbrock2(const std::vector<double>& x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+}
+
+TEST(NelderMead, Sphere3D) {
+    const auto res = nelder_mead_minimize(sphere, {1.0, -2.0, 0.7}, Bounds::unbounded(3));
+    for (double v : res.x) EXPECT_NEAR(v, 0.0, 1e-4);
+    EXPECT_LT(res.f, 1e-7);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+    const auto res = nelder_mead_minimize(rosenbrock2, {-1.2, 1.0}, Bounds::unbounded(2),
+                                          {.max_iterations = 5000, .max_evaluations = 20000});
+    EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(res.x[1], 1.0, 2e-3);
+}
+
+TEST(NelderMead, RespectsBoxConstraints) {
+    // Unconstrained min at origin; box excludes it.
+    const auto res = nelder_mead_minimize(sphere, {0.8, 0.8}, Bounds::uniform(2, 0.5, 1.0));
+    EXPECT_NEAR(res.x[0], 0.5, 1e-4);
+    EXPECT_NEAR(res.x[1], 0.5, 1e-4);
+    EXPECT_TRUE(Bounds::uniform(2, 0.5, 1.0).contains(res.x));
+}
+
+TEST(NelderMead, EvaluationBudgetRespected) {
+    NelderMeadOptions opts;
+    opts.max_evaluations = 50;
+    const auto res = nelder_mead_minimize(rosenbrock2, {-1.2, 1.0}, Bounds::unbounded(2), opts);
+    EXPECT_LE(res.evaluations, 55);  // a final shrink round may slightly overshoot
+}
+
+TEST(NelderMead, ShiftedQuadraticManyDims) {
+    const std::size_t n = 6;
+    auto f = [](const std::vector<double>& x) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double d = x[i] - 0.3 * static_cast<double>(i);
+            s += (1.0 + static_cast<double>(i)) * d * d;
+        }
+        return s;
+    };
+    const auto res = nelder_mead_minimize(f, std::vector<double>(n, 1.0), Bounds::unbounded(n),
+                                          {.max_iterations = 10000, .max_evaluations = 50000});
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(res.x[i], 0.3 * static_cast<double>(i), 5e-3) << "i=" << i;
+    }
+}
+
+}  // namespace
+}  // namespace qoc::optim

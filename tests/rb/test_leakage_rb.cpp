@@ -1,0 +1,61 @@
+#include "rb/leakage_rb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/calibration.hpp"
+
+namespace qoc::rb {
+namespace {
+
+const Clifford1Q& c1() {
+    static Clifford1Q instance;
+    return instance;
+}
+
+TEST(LeakageRb, LeakageGrowsWithSequenceLength) {
+    device::PulseExecutor exec(device::ibmq_montreal());
+    const auto defaults = device::build_default_gates(exec);
+    GateSet1Q gates(exec, defaults, 0, c1());
+    RbOptions opts;
+    opts.lengths = {1, 50, 150, 400, 800};
+    opts.seeds_per_length = 6;
+    const auto res = run_leakage_rb_1q(exec, gates, opts);
+    ASSERT_EQ(res.leakage_population.size(), 5u);
+    EXPECT_GT(res.leakage_population.back(), res.leakage_population.front());
+    EXPECT_GT(res.leakage_rate_per_clifford, 0.0);
+    EXPECT_LT(res.leakage_rate_per_clifford, 1e-3);
+}
+
+TEST(LeakageRb, FasterPulsesLeakMore) {
+    // Default gates at half the duration drive the 1-2 transition harder.
+    device::BackendConfig cfg = device::ibmq_montreal();
+    device::PulseExecutor exec(cfg);
+    device::DefaultGateOptions slow_opts;
+    device::DefaultGateOptions fast_opts;
+    fast_opts.gate_duration_dt = 64;  // ~14 ns pulses
+    const auto slow_gates = device::build_default_gates(exec, slow_opts);
+    const auto fast_gates = device::build_default_gates(exec, fast_opts);
+
+    RbOptions opts;
+    opts.lengths = {1, 100, 300, 600};
+    opts.seeds_per_length = 4;
+    const auto slow = run_leakage_rb_1q(exec, GateSet1Q(exec, slow_gates, 0, c1()), opts);
+    const auto fast = run_leakage_rb_1q(exec, GateSet1Q(exec, fast_gates, 0, c1()), opts);
+    EXPECT_GT(fast.leakage_population.back(), slow.leakage_population.back());
+}
+
+TEST(LeakageRb, TwoLevelDeviceHasNoLeakage) {
+    device::BackendConfig cfg = device::ibmq_montreal();
+    cfg.levels = 2;
+    device::PulseExecutor exec(cfg);
+    const auto defaults = device::build_default_gates(exec);
+    GateSet1Q gates(exec, defaults, 0, c1());
+    RbOptions opts;
+    opts.lengths = {1, 100, 300};
+    opts.seeds_per_length = 3;
+    const auto res = run_leakage_rb_1q(exec, gates, opts);
+    for (double leak : res.leakage_population) EXPECT_NEAR(leak, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qoc::rb

@@ -1,0 +1,166 @@
+/// \file qoc_design.cpp
+/// \brief Command-line pulse designer: the paper's workflow as a tool.
+///
+///   qoc_design --gate x --backend montreal --duration 480 --out pulse.csv
+///   qoc_design --gate sx --backend toronto --duration 144 --model closed3
+///   qoc_design --gate cx --backend montreal --irb
+///
+/// Designs the pulse on the backend's nominal model, reports the model and
+/// device infidelity, optionally runs the IRB comparison against the
+/// default gate, and writes the optimized amplitudes as CSV.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "device/calibration.hpp"
+#include "experiments/gate_designer.hpp"
+#include "experiments/irb_experiment.hpp"
+#include "experiments/report.hpp"
+#include "io/io.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/gates.hpp"
+
+namespace {
+
+using namespace qoc;
+using namespace qoc::experiments;
+
+void usage() {
+    std::printf(
+        "qoc_design -- GRAPE pulse design for simulated IBM Q backends\n\n"
+        "usage: qoc_design [options]\n"
+        "  --gate <x|sx|h|cx>       gate to synthesize (default x)\n"
+        "  --backend <montreal|toronto|boeblingen|rome>   (default montreal)\n"
+        "  --duration <dt>          pulse length in dt units (default: paper's)\n"
+        "  --slots <n>              GRAPE timeslots (default 48)\n"
+        "  --model <open3|closed3|open2|closed2>  design model (default open3)\n"
+        "  --seed <drag|gaussian|gaussian_square|sine>  seed pulse\n"
+        "  --out <file.csv>         write optimized amplitudes\n"
+        "  --irb                    run the IRB comparison vs the default gate\n"
+        "  --help                   this message\n");
+}
+
+device::BackendConfig backend_by_name(const std::string& name) {
+    if (name == "montreal") return device::ibmq_montreal();
+    if (name == "toronto") return device::ibmq_toronto();
+    if (name == "boeblingen") return device::ibmq_boeblingen();
+    if (name == "rome") return device::ibmq_rome();
+    throw std::runtime_error("unknown backend: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string gate = "x", backend = "montreal", out_path, model = "open3", seed = "drag";
+    std::size_t duration = 0, slots = 48;
+    bool run_irb = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+            return argv[++i];
+        };
+        try {
+            if (arg == "--gate") gate = next();
+            else if (arg == "--backend") backend = next();
+            else if (arg == "--duration") duration = std::stoul(next());
+            else if (arg == "--slots") slots = std::stoul(next());
+            else if (arg == "--model") model = next();
+            else if (arg == "--seed") seed = next();
+            else if (arg == "--out") out_path = next();
+            else if (arg == "--irb") run_irb = true;
+            else if (arg == "--help") { usage(); return 0; }
+            else { std::fprintf(stderr, "unknown option %s\n", arg.c_str()); usage(); return 2; }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    try {
+        const device::BackendConfig cfg = backend_by_name(backend);
+        device::PulseExecutor dev(cfg);
+        const auto nominal = device::nominal_model(cfg);
+        const auto defaults = device::build_default_gates(dev);
+        rb::RbOptions rb_opts;
+        rb_opts.seeds_per_length = 8;
+
+        if (gate == "cx") {
+            CxDesignSpec spec;
+            if (duration != 0) spec.duration_dt = duration;
+            spec.n_timeslots = slots;
+            if (seed == "sine") spec.seed = control::InitialPulseType::kSine;
+            const DesignedCx d = design_cx_gate(nominal, spec);
+            std::printf("designed cx on %s: %zu dt, model infidelity %.3e\n", backend.c_str(),
+                        d.duration_dt, d.model_fid_err);
+            const auto sup = dev.schedule_superop_2q(d.schedule);
+            std::printf("device avg-gate infidelity: %.3e\n",
+                        1.0 - quantum::average_gate_fidelity_superop(quantum::gates::cx(), sup));
+            if (!out_path.empty()) {
+                io::save_amplitudes(out_path, d.optim.final_amps);
+                std::printf("amplitudes written to %s\n", out_path.c_str());
+            }
+            if (run_irb) {
+                rb::Clifford1Q c1;
+                rb::Clifford2Q c2(c1);
+                rb_opts.lengths = {1, 8, 16, 32, 56, 88};
+                const auto cmp = compare_cx_gate(dev, defaults, d.schedule, c1, c2, rb_opts);
+                std::printf("IRB: custom %s vs default %s (improvement %.1f%%)\n",
+                            format_error_rate(cmp.custom.gate_error,
+                                              cmp.custom.gate_error_err).c_str(),
+                            format_error_rate(cmp.standard.gate_error,
+                                              cmp.standard.gate_error_err).c_str(),
+                            cmp.improvement_percent);
+            }
+            return 0;
+        }
+
+        GateDesignSpec spec;
+        if (gate == "x") { spec.target = quantum::gates::x(); spec.duration_dt = 480; }
+        else if (gate == "sx") {
+            spec.target = quantum::gates::sx();
+            spec.duration_dt = 736;
+            spec.use_y_control = false;
+            spec.model = DesignModel::kThreeLevelClosed;
+        } else if (gate == "h") { spec.target = quantum::gates::h(); spec.duration_dt = 1216; }
+        else { std::fprintf(stderr, "unknown gate %s\n", gate.c_str()); return 2; }
+        if (duration != 0) spec.duration_dt = duration;
+        spec.n_timeslots = slots;
+        if (model == "closed3") spec.model = DesignModel::kThreeLevelClosed;
+        else if (model == "open3") { /* default for x/h */ }
+        else if (model == "open2") spec.model = DesignModel::kTwoLevelOpen;
+        else if (model == "closed2") spec.model = DesignModel::kTwoLevelClosed;
+        if (seed == "gaussian") spec.seed = control::InitialPulseType::kGaussian;
+        else if (seed == "gaussian_square") spec.seed = control::InitialPulseType::kGaussianSquare;
+        else if (seed == "sine") spec.seed = control::InitialPulseType::kSine;
+
+        const DesignedGate d = design_1q_gate(nominal, 0, gate, spec);
+        std::printf("designed %s on %s: %zu dt (%.1f ns), model infidelity %.3e\n",
+                    gate.c_str(), backend.c_str(), d.duration_dt,
+                    d.duration_dt * cfg.dt, d.model_fid_err);
+        const auto sup = dev.schedule_superop_1q(d.schedule, 0);
+        std::printf("device subspace infidelity: %.3e\n",
+                    1.0 - quantum::average_gate_fidelity_subspace(spec.target, sup,
+                                                                  cfg.levels));
+        if (!out_path.empty()) {
+            io::save_amplitudes(out_path, d.optim.final_amps);
+            std::printf("amplitudes written to %s\n", out_path.c_str());
+        }
+        if (run_irb) {
+            rb::Clifford1Q c1;
+            const auto cmp = compare_1q_gate(dev, defaults, gate, 0, d.schedule, c1, rb_opts);
+            std::printf("IRB: custom %s vs default %s (improvement %.1f%%)\n",
+                        format_error_rate(cmp.custom.gate_error,
+                                          cmp.custom.gate_error_err).c_str(),
+                        format_error_rate(cmp.standard.gate_error,
+                                          cmp.standard.gate_error_err).c_str(),
+                        cmp.improvement_percent);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
