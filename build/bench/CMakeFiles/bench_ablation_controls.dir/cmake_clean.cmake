@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_controls.dir/bench_ablation_controls.cpp.o"
+  "CMakeFiles/bench_ablation_controls.dir/bench_ablation_controls.cpp.o.d"
+  "bench_ablation_controls"
+  "bench_ablation_controls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_open_vs_closed.dir/bench_ablation_open_vs_closed.cpp.o"
+  "CMakeFiles/bench_ablation_open_vs_closed.dir/bench_ablation_open_vs_closed.cpp.o.d"
+  "bench_ablation_open_vs_closed"
+  "bench_ablation_open_vs_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_open_vs_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optimizers.dir/bench_ablation_optimizers.cpp.o"
+  "CMakeFiles/bench_ablation_optimizers.dir/bench_ablation_optimizers.cpp.o.d"
+  "bench_ablation_optimizers"
+  "bench_ablation_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

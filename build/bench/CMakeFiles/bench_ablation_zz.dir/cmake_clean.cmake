@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zz.dir/bench_ablation_zz.cpp.o"
+  "CMakeFiles/bench_ablation_zz.dir/bench_ablation_zz.cpp.o.d"
+  "bench_ablation_zz"
+  "bench_ablation_zz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_pulseoptim.dir/bench_fig01_pulseoptim.cpp.o"
+  "CMakeFiles/bench_fig01_pulseoptim.dir/bench_fig01_pulseoptim.cpp.o.d"
+  "bench_fig01_pulseoptim"
+  "bench_fig01_pulseoptim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_pulseoptim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

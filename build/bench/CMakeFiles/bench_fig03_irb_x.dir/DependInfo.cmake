@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_irb_x.cpp" "bench/CMakeFiles/bench_fig03_irb_x.dir/bench_fig03_irb_x.cpp.o" "gcc" "bench/CMakeFiles/bench_fig03_irb_x.dir/bench_fig03_irb_x.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/qoc_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/rb/CMakeFiles/qoc_rb.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qoc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulse/CMakeFiles/qoc_pulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/qoc_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/qoc_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/qoc_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_irb_x.dir/bench_fig03_irb_x.cpp.o"
+  "CMakeFiles/bench_fig03_irb_x.dir/bench_fig03_irb_x.cpp.o.d"
+  "bench_fig03_irb_x"
+  "bench_fig03_irb_x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_irb_x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_sx_pulse.dir/bench_fig04_sx_pulse.cpp.o"
+  "CMakeFiles/bench_fig04_sx_pulse.dir/bench_fig04_sx_pulse.cpp.o.d"
+  "bench_fig04_sx_pulse"
+  "bench_fig04_sx_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_sx_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

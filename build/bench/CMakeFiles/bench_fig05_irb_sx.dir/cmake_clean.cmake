@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_irb_sx.dir/bench_fig05_irb_sx.cpp.o"
+  "CMakeFiles/bench_fig05_irb_sx.dir/bench_fig05_irb_sx.cpp.o.d"
+  "bench_fig05_irb_sx"
+  "bench_fig05_irb_sx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_irb_sx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_irb_sx.
+# This may be replaced when dependencies are built.

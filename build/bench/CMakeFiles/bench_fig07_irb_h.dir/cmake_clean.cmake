@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_irb_h.dir/bench_fig07_irb_h.cpp.o"
+  "CMakeFiles/bench_fig07_irb_h.dir/bench_fig07_irb_h.cpp.o.d"
+  "bench_fig07_irb_h"
+  "bench_fig07_irb_h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_irb_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

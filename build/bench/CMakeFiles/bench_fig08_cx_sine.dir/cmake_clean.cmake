@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cx_sine.dir/bench_fig08_cx_sine.cpp.o"
+  "CMakeFiles/bench_fig08_cx_sine.dir/bench_fig08_cx_sine.cpp.o.d"
+  "bench_fig08_cx_sine"
+  "bench_fig08_cx_sine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cx_sine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

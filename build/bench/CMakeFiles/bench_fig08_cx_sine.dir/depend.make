@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_cx_sine.
+# This may be replaced when dependencies are built.

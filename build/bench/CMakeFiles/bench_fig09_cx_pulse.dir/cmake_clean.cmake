@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_cx_pulse.dir/bench_fig09_cx_pulse.cpp.o"
+  "CMakeFiles/bench_fig09_cx_pulse.dir/bench_fig09_cx_pulse.cpp.o.d"
+  "bench_fig09_cx_pulse"
+  "bench_fig09_cx_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_cx_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

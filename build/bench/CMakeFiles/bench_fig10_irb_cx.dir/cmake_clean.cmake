@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_irb_cx.dir/bench_fig10_irb_cx.cpp.o"
+  "CMakeFiles/bench_fig10_irb_cx.dir/bench_fig10_irb_cx.cpp.o.d"
+  "bench_fig10_irb_cx"
+  "bench_fig10_irb_cx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_irb_cx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_h_drift.dir/bench_fig14_h_drift.cpp.o"
+  "CMakeFiles/bench_fig14_h_drift.dir/bench_fig14_h_drift.cpp.o.d"
+  "bench_fig14_h_drift"
+  "bench_fig14_h_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_h_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_long_pulses.dir/bench_table1_long_pulses.cpp.o"
+  "CMakeFiles/bench_table1_long_pulses.dir/bench_table1_long_pulses.cpp.o.d"
+  "bench_table1_long_pulses"
+  "bench_table1_long_pulses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_long_pulses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_short_pulses.dir/bench_table2_short_pulses.cpp.o"
+  "CMakeFiles/bench_table2_short_pulses.dir/bench_table2_short_pulses.cpp.o.d"
+  "bench_table2_short_pulses"
+  "bench_table2_short_pulses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_short_pulses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

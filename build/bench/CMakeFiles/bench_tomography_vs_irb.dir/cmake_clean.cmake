@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tomography_vs_irb.dir/bench_tomography_vs_irb.cpp.o"
+  "CMakeFiles/bench_tomography_vs_irb.dir/bench_tomography_vs_irb.cpp.o.d"
+  "bench_tomography_vs_irb"
+  "bench_tomography_vs_irb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tomography_vs_irb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

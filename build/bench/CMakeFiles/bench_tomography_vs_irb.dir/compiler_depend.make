@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tomography_vs_irb.
+# This may be replaced when dependencies are built.

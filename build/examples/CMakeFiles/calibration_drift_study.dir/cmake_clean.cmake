@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_drift_study.dir/calibration_drift_study.cpp.o"
+  "CMakeFiles/calibration_drift_study.dir/calibration_drift_study.cpp.o.d"
+  "calibration_drift_study"
+  "calibration_drift_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_drift_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_backend.dir/characterize_backend.cpp.o"
+  "CMakeFiles/characterize_backend.dir/characterize_backend.cpp.o.d"
+  "characterize_backend"
+  "characterize_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

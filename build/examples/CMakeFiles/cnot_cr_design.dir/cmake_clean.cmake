@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnot_cr_design.dir/cnot_cr_design.cpp.o"
+  "CMakeFiles/cnot_cr_design.dir/cnot_cr_design.cpp.o.d"
+  "cnot_cr_design"
+  "cnot_cr_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnot_cr_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cnot_cr_design.
+# This may be replaced when dependencies are built.

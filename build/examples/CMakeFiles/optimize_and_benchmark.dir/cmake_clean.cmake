@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_and_benchmark.dir/optimize_and_benchmark.cpp.o"
+  "CMakeFiles/optimize_and_benchmark.dir/optimize_and_benchmark.cpp.o.d"
+  "optimize_and_benchmark"
+  "optimize_and_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_and_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/crab.cpp" "src/control/CMakeFiles/qoc_control.dir/crab.cpp.o" "gcc" "src/control/CMakeFiles/qoc_control.dir/crab.cpp.o.d"
+  "/root/repo/src/control/goat.cpp" "src/control/CMakeFiles/qoc_control.dir/goat.cpp.o" "gcc" "src/control/CMakeFiles/qoc_control.dir/goat.cpp.o.d"
+  "/root/repo/src/control/grape.cpp" "src/control/CMakeFiles/qoc_control.dir/grape.cpp.o" "gcc" "src/control/CMakeFiles/qoc_control.dir/grape.cpp.o.d"
+  "/root/repo/src/control/krotov.cpp" "src/control/CMakeFiles/qoc_control.dir/krotov.cpp.o" "gcc" "src/control/CMakeFiles/qoc_control.dir/krotov.cpp.o.d"
+  "/root/repo/src/control/pulse_shapes.cpp" "src/control/CMakeFiles/qoc_control.dir/pulse_shapes.cpp.o" "gcc" "src/control/CMakeFiles/qoc_control.dir/pulse_shapes.cpp.o.d"
+  "/root/repo/src/control/pulseoptim.cpp" "src/control/CMakeFiles/qoc_control.dir/pulseoptim.cpp.o" "gcc" "src/control/CMakeFiles/qoc_control.dir/pulseoptim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/qoc_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/qoc_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

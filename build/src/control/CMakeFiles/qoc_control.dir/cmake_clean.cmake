@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_control.dir/crab.cpp.o"
+  "CMakeFiles/qoc_control.dir/crab.cpp.o.d"
+  "CMakeFiles/qoc_control.dir/goat.cpp.o"
+  "CMakeFiles/qoc_control.dir/goat.cpp.o.d"
+  "CMakeFiles/qoc_control.dir/grape.cpp.o"
+  "CMakeFiles/qoc_control.dir/grape.cpp.o.d"
+  "CMakeFiles/qoc_control.dir/krotov.cpp.o"
+  "CMakeFiles/qoc_control.dir/krotov.cpp.o.d"
+  "CMakeFiles/qoc_control.dir/pulse_shapes.cpp.o"
+  "CMakeFiles/qoc_control.dir/pulse_shapes.cpp.o.d"
+  "CMakeFiles/qoc_control.dir/pulseoptim.cpp.o"
+  "CMakeFiles/qoc_control.dir/pulseoptim.cpp.o.d"
+  "libqoc_control.a"
+  "libqoc_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/backend_config.cpp" "src/device/CMakeFiles/qoc_device.dir/backend_config.cpp.o" "gcc" "src/device/CMakeFiles/qoc_device.dir/backend_config.cpp.o.d"
+  "/root/repo/src/device/calibration.cpp" "src/device/CMakeFiles/qoc_device.dir/calibration.cpp.o" "gcc" "src/device/CMakeFiles/qoc_device.dir/calibration.cpp.o.d"
+  "/root/repo/src/device/characterization.cpp" "src/device/CMakeFiles/qoc_device.dir/characterization.cpp.o" "gcc" "src/device/CMakeFiles/qoc_device.dir/characterization.cpp.o.d"
+  "/root/repo/src/device/drift_model.cpp" "src/device/CMakeFiles/qoc_device.dir/drift_model.cpp.o" "gcc" "src/device/CMakeFiles/qoc_device.dir/drift_model.cpp.o.d"
+  "/root/repo/src/device/executor.cpp" "src/device/CMakeFiles/qoc_device.dir/executor.cpp.o" "gcc" "src/device/CMakeFiles/qoc_device.dir/executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pulse/CMakeFiles/qoc_pulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/qoc_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/qoc_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/qoc_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

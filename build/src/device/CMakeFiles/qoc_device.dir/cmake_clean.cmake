@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_device.dir/backend_config.cpp.o"
+  "CMakeFiles/qoc_device.dir/backend_config.cpp.o.d"
+  "CMakeFiles/qoc_device.dir/calibration.cpp.o"
+  "CMakeFiles/qoc_device.dir/calibration.cpp.o.d"
+  "CMakeFiles/qoc_device.dir/characterization.cpp.o"
+  "CMakeFiles/qoc_device.dir/characterization.cpp.o.d"
+  "CMakeFiles/qoc_device.dir/drift_model.cpp.o"
+  "CMakeFiles/qoc_device.dir/drift_model.cpp.o.d"
+  "CMakeFiles/qoc_device.dir/executor.cpp.o"
+  "CMakeFiles/qoc_device.dir/executor.cpp.o.d"
+  "libqoc_device.a"
+  "libqoc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamics/integrator.cpp" "src/dynamics/CMakeFiles/qoc_dynamics.dir/integrator.cpp.o" "gcc" "src/dynamics/CMakeFiles/qoc_dynamics.dir/integrator.cpp.o.d"
+  "/root/repo/src/dynamics/propagator.cpp" "src/dynamics/CMakeFiles/qoc_dynamics.dir/propagator.cpp.o" "gcc" "src/dynamics/CMakeFiles/qoc_dynamics.dir/propagator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_dynamics.dir/integrator.cpp.o"
+  "CMakeFiles/qoc_dynamics.dir/integrator.cpp.o.d"
+  "CMakeFiles/qoc_dynamics.dir/propagator.cpp.o"
+  "CMakeFiles/qoc_dynamics.dir/propagator.cpp.o.d"
+  "libqoc_dynamics.a"
+  "libqoc_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

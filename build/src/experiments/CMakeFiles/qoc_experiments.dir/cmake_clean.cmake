@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_experiments.dir/gate_designer.cpp.o"
+  "CMakeFiles/qoc_experiments.dir/gate_designer.cpp.o.d"
+  "CMakeFiles/qoc_experiments.dir/irb_experiment.cpp.o"
+  "CMakeFiles/qoc_experiments.dir/irb_experiment.cpp.o.d"
+  "CMakeFiles/qoc_experiments.dir/report.cpp.o"
+  "CMakeFiles/qoc_experiments.dir/report.cpp.o.d"
+  "libqoc_experiments.a"
+  "libqoc_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

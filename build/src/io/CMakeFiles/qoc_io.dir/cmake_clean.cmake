@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_io.dir/io.cpp.o"
+  "CMakeFiles/qoc_io.dir/io.cpp.o.d"
+  "libqoc_io.a"
+  "libqoc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_linalg.dir/eig_hermitian.cpp.o"
+  "CMakeFiles/qoc_linalg.dir/eig_hermitian.cpp.o.d"
+  "CMakeFiles/qoc_linalg.dir/expm.cpp.o"
+  "CMakeFiles/qoc_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/qoc_linalg.dir/kron.cpp.o"
+  "CMakeFiles/qoc_linalg.dir/kron.cpp.o.d"
+  "CMakeFiles/qoc_linalg.dir/lu.cpp.o"
+  "CMakeFiles/qoc_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/qoc_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/qoc_linalg.dir/matrix.cpp.o.d"
+  "libqoc_linalg.a"
+  "libqoc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

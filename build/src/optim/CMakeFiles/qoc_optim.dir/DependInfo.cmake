@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/gradient_check.cpp" "src/optim/CMakeFiles/qoc_optim.dir/gradient_check.cpp.o" "gcc" "src/optim/CMakeFiles/qoc_optim.dir/gradient_check.cpp.o.d"
+  "/root/repo/src/optim/lbfgsb.cpp" "src/optim/CMakeFiles/qoc_optim.dir/lbfgsb.cpp.o" "gcc" "src/optim/CMakeFiles/qoc_optim.dir/lbfgsb.cpp.o.d"
+  "/root/repo/src/optim/levmar.cpp" "src/optim/CMakeFiles/qoc_optim.dir/levmar.cpp.o" "gcc" "src/optim/CMakeFiles/qoc_optim.dir/levmar.cpp.o.d"
+  "/root/repo/src/optim/nelder_mead.cpp" "src/optim/CMakeFiles/qoc_optim.dir/nelder_mead.cpp.o" "gcc" "src/optim/CMakeFiles/qoc_optim.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/optim/problem.cpp" "src/optim/CMakeFiles/qoc_optim.dir/problem.cpp.o" "gcc" "src/optim/CMakeFiles/qoc_optim.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

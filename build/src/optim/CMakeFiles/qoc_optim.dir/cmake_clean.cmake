@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_optim.dir/gradient_check.cpp.o"
+  "CMakeFiles/qoc_optim.dir/gradient_check.cpp.o.d"
+  "CMakeFiles/qoc_optim.dir/lbfgsb.cpp.o"
+  "CMakeFiles/qoc_optim.dir/lbfgsb.cpp.o.d"
+  "CMakeFiles/qoc_optim.dir/levmar.cpp.o"
+  "CMakeFiles/qoc_optim.dir/levmar.cpp.o.d"
+  "CMakeFiles/qoc_optim.dir/nelder_mead.cpp.o"
+  "CMakeFiles/qoc_optim.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/qoc_optim.dir/problem.cpp.o"
+  "CMakeFiles/qoc_optim.dir/problem.cpp.o.d"
+  "libqoc_optim.a"
+  "libqoc_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_pulse.dir/channels.cpp.o"
+  "CMakeFiles/qoc_pulse.dir/channels.cpp.o.d"
+  "CMakeFiles/qoc_pulse.dir/circuit.cpp.o"
+  "CMakeFiles/qoc_pulse.dir/circuit.cpp.o.d"
+  "CMakeFiles/qoc_pulse.dir/instruction_map.cpp.o"
+  "CMakeFiles/qoc_pulse.dir/instruction_map.cpp.o.d"
+  "CMakeFiles/qoc_pulse.dir/schedule.cpp.o"
+  "CMakeFiles/qoc_pulse.dir/schedule.cpp.o.d"
+  "CMakeFiles/qoc_pulse.dir/waveform.cpp.o"
+  "CMakeFiles/qoc_pulse.dir/waveform.cpp.o.d"
+  "libqoc_pulse.a"
+  "libqoc_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

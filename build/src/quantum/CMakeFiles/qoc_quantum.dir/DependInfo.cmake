@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantum/fidelity.cpp" "src/quantum/CMakeFiles/qoc_quantum.dir/fidelity.cpp.o" "gcc" "src/quantum/CMakeFiles/qoc_quantum.dir/fidelity.cpp.o.d"
+  "/root/repo/src/quantum/gates.cpp" "src/quantum/CMakeFiles/qoc_quantum.dir/gates.cpp.o" "gcc" "src/quantum/CMakeFiles/qoc_quantum.dir/gates.cpp.o.d"
+  "/root/repo/src/quantum/operators.cpp" "src/quantum/CMakeFiles/qoc_quantum.dir/operators.cpp.o" "gcc" "src/quantum/CMakeFiles/qoc_quantum.dir/operators.cpp.o.d"
+  "/root/repo/src/quantum/states.cpp" "src/quantum/CMakeFiles/qoc_quantum.dir/states.cpp.o" "gcc" "src/quantum/CMakeFiles/qoc_quantum.dir/states.cpp.o.d"
+  "/root/repo/src/quantum/superop.cpp" "src/quantum/CMakeFiles/qoc_quantum.dir/superop.cpp.o" "gcc" "src/quantum/CMakeFiles/qoc_quantum.dir/superop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_quantum.dir/fidelity.cpp.o"
+  "CMakeFiles/qoc_quantum.dir/fidelity.cpp.o.d"
+  "CMakeFiles/qoc_quantum.dir/gates.cpp.o"
+  "CMakeFiles/qoc_quantum.dir/gates.cpp.o.d"
+  "CMakeFiles/qoc_quantum.dir/operators.cpp.o"
+  "CMakeFiles/qoc_quantum.dir/operators.cpp.o.d"
+  "CMakeFiles/qoc_quantum.dir/states.cpp.o"
+  "CMakeFiles/qoc_quantum.dir/states.cpp.o.d"
+  "CMakeFiles/qoc_quantum.dir/superop.cpp.o"
+  "CMakeFiles/qoc_quantum.dir/superop.cpp.o.d"
+  "libqoc_quantum.a"
+  "libqoc_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rb/clifford1q.cpp" "src/rb/CMakeFiles/qoc_rb.dir/clifford1q.cpp.o" "gcc" "src/rb/CMakeFiles/qoc_rb.dir/clifford1q.cpp.o.d"
+  "/root/repo/src/rb/clifford2q.cpp" "src/rb/CMakeFiles/qoc_rb.dir/clifford2q.cpp.o" "gcc" "src/rb/CMakeFiles/qoc_rb.dir/clifford2q.cpp.o.d"
+  "/root/repo/src/rb/leakage_rb.cpp" "src/rb/CMakeFiles/qoc_rb.dir/leakage_rb.cpp.o" "gcc" "src/rb/CMakeFiles/qoc_rb.dir/leakage_rb.cpp.o.d"
+  "/root/repo/src/rb/rb.cpp" "src/rb/CMakeFiles/qoc_rb.dir/rb.cpp.o" "gcc" "src/rb/CMakeFiles/qoc_rb.dir/rb.cpp.o.d"
+  "/root/repo/src/rb/tomography.cpp" "src/rb/CMakeFiles/qoc_rb.dir/tomography.cpp.o" "gcc" "src/rb/CMakeFiles/qoc_rb.dir/tomography.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/qoc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/qoc_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulse/CMakeFiles/qoc_pulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/qoc_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/qoc_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_rb.dir/clifford1q.cpp.o"
+  "CMakeFiles/qoc_rb.dir/clifford1q.cpp.o.d"
+  "CMakeFiles/qoc_rb.dir/clifford2q.cpp.o"
+  "CMakeFiles/qoc_rb.dir/clifford2q.cpp.o.d"
+  "CMakeFiles/qoc_rb.dir/leakage_rb.cpp.o"
+  "CMakeFiles/qoc_rb.dir/leakage_rb.cpp.o.d"
+  "CMakeFiles/qoc_rb.dir/rb.cpp.o"
+  "CMakeFiles/qoc_rb.dir/rb.cpp.o.d"
+  "CMakeFiles/qoc_rb.dir/tomography.cpp.o"
+  "CMakeFiles/qoc_rb.dir/tomography.cpp.o.d"
+  "libqoc_rb.a"
+  "libqoc_rb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_rb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

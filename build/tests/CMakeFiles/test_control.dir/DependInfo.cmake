@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/control/test_goat.cpp" "tests/CMakeFiles/test_control.dir/control/test_goat.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_goat.cpp.o.d"
+  "/root/repo/tests/control/test_gradients.cpp" "tests/CMakeFiles/test_control.dir/control/test_gradients.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_gradients.cpp.o.d"
+  "/root/repo/tests/control/test_grape.cpp" "tests/CMakeFiles/test_control.dir/control/test_grape.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_grape.cpp.o.d"
+  "/root/repo/tests/control/test_grape_extensions.cpp" "tests/CMakeFiles/test_control.dir/control/test_grape_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_grape_extensions.cpp.o.d"
+  "/root/repo/tests/control/test_krotov.cpp" "tests/CMakeFiles/test_control.dir/control/test_krotov.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_krotov.cpp.o.d"
+  "/root/repo/tests/control/test_pulse_shapes.cpp" "tests/CMakeFiles/test_control.dir/control/test_pulse_shapes.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_pulse_shapes.cpp.o.d"
+  "/root/repo/tests/control/test_pulseoptim.cpp" "tests/CMakeFiles/test_control.dir/control/test_pulseoptim.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_pulseoptim.cpp.o.d"
+  "/root/repo/tests/control/test_pulseoptim_extensions.cpp" "tests/CMakeFiles/test_control.dir/control/test_pulseoptim_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_pulseoptim_extensions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/qoc_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/qoc_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/qoc_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control.dir/control/test_goat.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_goat.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_gradients.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_gradients.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_grape.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_grape.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_grape_extensions.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_grape_extensions.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_krotov.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_krotov.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_pulse_shapes.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_pulse_shapes.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_pulseoptim.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_pulseoptim.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_pulseoptim_extensions.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_pulseoptim_extensions.cpp.o.d"
+  "test_control"
+  "test_control.pdb"
+  "test_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

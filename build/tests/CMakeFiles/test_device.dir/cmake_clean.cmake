@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/test_calibration.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_calibration.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_characterization.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_characterization.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_drift.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_drift.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_executor.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_executor.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_executor_property.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_executor_property.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dynamics/test_integrator.cpp" "tests/CMakeFiles/test_dynamics.dir/dynamics/test_integrator.cpp.o" "gcc" "tests/CMakeFiles/test_dynamics.dir/dynamics/test_integrator.cpp.o.d"
+  "/root/repo/tests/dynamics/test_propagator.cpp" "tests/CMakeFiles/test_dynamics.dir/dynamics/test_propagator.cpp.o" "gcc" "tests/CMakeFiles/test_dynamics.dir/dynamics/test_propagator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynamics/CMakeFiles/qoc_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

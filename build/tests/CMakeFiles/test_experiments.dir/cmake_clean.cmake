@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments.dir/experiments/test_gate_designer.cpp.o"
+  "CMakeFiles/test_experiments.dir/experiments/test_gate_designer.cpp.o.d"
+  "CMakeFiles/test_experiments.dir/experiments/test_irb_experiment.cpp.o"
+  "CMakeFiles/test_experiments.dir/experiments/test_irb_experiment.cpp.o.d"
+  "CMakeFiles/test_experiments.dir/experiments/test_report.cpp.o"
+  "CMakeFiles/test_experiments.dir/experiments/test_report.cpp.o.d"
+  "test_experiments"
+  "test_experiments.pdb"
+  "test_experiments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

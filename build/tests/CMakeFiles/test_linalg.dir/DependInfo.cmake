@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/test_eig.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_eig.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_eig.cpp.o.d"
+  "/root/repo/tests/linalg/test_expm.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_expm.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_expm.cpp.o.d"
+  "/root/repo/tests/linalg/test_kron.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_kron.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_kron.cpp.o.d"
+  "/root/repo/tests/linalg/test_lu.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_lu.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_lu.cpp.o.d"
+  "/root/repo/tests/linalg/test_matrix.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

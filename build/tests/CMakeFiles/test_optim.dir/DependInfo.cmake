@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optim/test_lbfgsb.cpp" "tests/CMakeFiles/test_optim.dir/optim/test_lbfgsb.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/test_lbfgsb.cpp.o.d"
+  "/root/repo/tests/optim/test_lbfgsb_functions.cpp" "tests/CMakeFiles/test_optim.dir/optim/test_lbfgsb_functions.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/test_lbfgsb_functions.cpp.o.d"
+  "/root/repo/tests/optim/test_levmar.cpp" "tests/CMakeFiles/test_optim.dir/optim/test_levmar.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/test_levmar.cpp.o.d"
+  "/root/repo/tests/optim/test_nelder_mead.cpp" "tests/CMakeFiles/test_optim.dir/optim/test_nelder_mead.cpp.o" "gcc" "tests/CMakeFiles/test_optim.dir/optim/test_nelder_mead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optim/CMakeFiles/qoc_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

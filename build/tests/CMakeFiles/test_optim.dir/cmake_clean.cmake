@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim.dir/optim/test_lbfgsb.cpp.o"
+  "CMakeFiles/test_optim.dir/optim/test_lbfgsb.cpp.o.d"
+  "CMakeFiles/test_optim.dir/optim/test_lbfgsb_functions.cpp.o"
+  "CMakeFiles/test_optim.dir/optim/test_lbfgsb_functions.cpp.o.d"
+  "CMakeFiles/test_optim.dir/optim/test_levmar.cpp.o"
+  "CMakeFiles/test_optim.dir/optim/test_levmar.cpp.o.d"
+  "CMakeFiles/test_optim.dir/optim/test_nelder_mead.cpp.o"
+  "CMakeFiles/test_optim.dir/optim/test_nelder_mead.cpp.o.d"
+  "test_optim"
+  "test_optim.pdb"
+  "test_optim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pulse.dir/pulse/test_schedule.cpp.o"
+  "CMakeFiles/test_pulse.dir/pulse/test_schedule.cpp.o.d"
+  "CMakeFiles/test_pulse.dir/pulse/test_waveform.cpp.o"
+  "CMakeFiles/test_pulse.dir/pulse/test_waveform.cpp.o.d"
+  "test_pulse"
+  "test_pulse.pdb"
+  "test_pulse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

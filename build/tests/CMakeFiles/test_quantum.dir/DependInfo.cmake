@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quantum/test_channels_property.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_channels_property.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_channels_property.cpp.o.d"
+  "/root/repo/tests/quantum/test_fidelity.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_fidelity.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_fidelity.cpp.o.d"
+  "/root/repo/tests/quantum/test_gates.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_gates.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_gates.cpp.o.d"
+  "/root/repo/tests/quantum/test_operators.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_operators.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_operators.cpp.o.d"
+  "/root/repo/tests/quantum/test_states.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_states.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_states.cpp.o.d"
+  "/root/repo/tests/quantum/test_superop.cpp" "tests/CMakeFiles/test_quantum.dir/quantum/test_superop.cpp.o" "gcc" "tests/CMakeFiles/test_quantum.dir/quantum/test_superop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

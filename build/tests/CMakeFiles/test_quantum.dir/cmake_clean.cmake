@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantum.dir/quantum/test_channels_property.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_channels_property.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_fidelity.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_fidelity.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_gates.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_gates.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_operators.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_operators.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_states.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_states.cpp.o.d"
+  "CMakeFiles/test_quantum.dir/quantum/test_superop.cpp.o"
+  "CMakeFiles/test_quantum.dir/quantum/test_superop.cpp.o.d"
+  "test_quantum"
+  "test_quantum.pdb"
+  "test_quantum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rb/test_clifford.cpp" "tests/CMakeFiles/test_rb.dir/rb/test_clifford.cpp.o" "gcc" "tests/CMakeFiles/test_rb.dir/rb/test_clifford.cpp.o.d"
+  "/root/repo/tests/rb/test_clifford_property.cpp" "tests/CMakeFiles/test_rb.dir/rb/test_clifford_property.cpp.o" "gcc" "tests/CMakeFiles/test_rb.dir/rb/test_clifford_property.cpp.o.d"
+  "/root/repo/tests/rb/test_leakage_rb.cpp" "tests/CMakeFiles/test_rb.dir/rb/test_leakage_rb.cpp.o" "gcc" "tests/CMakeFiles/test_rb.dir/rb/test_leakage_rb.cpp.o.d"
+  "/root/repo/tests/rb/test_rb.cpp" "tests/CMakeFiles/test_rb.dir/rb/test_rb.cpp.o" "gcc" "tests/CMakeFiles/test_rb.dir/rb/test_rb.cpp.o.d"
+  "/root/repo/tests/rb/test_tomography.cpp" "tests/CMakeFiles/test_rb.dir/rb/test_tomography.cpp.o" "gcc" "tests/CMakeFiles/test_rb.dir/rb/test_tomography.cpp.o.d"
+  "/root/repo/tests/rb/test_tomography_2q.cpp" "tests/CMakeFiles/test_rb.dir/rb/test_tomography_2q.cpp.o" "gcc" "tests/CMakeFiles/test_rb.dir/rb/test_tomography_2q.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rb/CMakeFiles/qoc_rb.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qoc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulse/CMakeFiles/qoc_pulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/qoc_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/qoc_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qoc_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qoc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/qoc_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

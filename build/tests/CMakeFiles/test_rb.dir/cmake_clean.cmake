@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rb.dir/rb/test_clifford.cpp.o"
+  "CMakeFiles/test_rb.dir/rb/test_clifford.cpp.o.d"
+  "CMakeFiles/test_rb.dir/rb/test_clifford_property.cpp.o"
+  "CMakeFiles/test_rb.dir/rb/test_clifford_property.cpp.o.d"
+  "CMakeFiles/test_rb.dir/rb/test_leakage_rb.cpp.o"
+  "CMakeFiles/test_rb.dir/rb/test_leakage_rb.cpp.o.d"
+  "CMakeFiles/test_rb.dir/rb/test_rb.cpp.o"
+  "CMakeFiles/test_rb.dir/rb/test_rb.cpp.o.d"
+  "CMakeFiles/test_rb.dir/rb/test_tomography.cpp.o"
+  "CMakeFiles/test_rb.dir/rb/test_tomography.cpp.o.d"
+  "CMakeFiles/test_rb.dir/rb/test_tomography_2q.cpp.o"
+  "CMakeFiles/test_rb.dir/rb/test_tomography_2q.cpp.o.d"
+  "test_rb"
+  "test_rb.pdb"
+  "test_rb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

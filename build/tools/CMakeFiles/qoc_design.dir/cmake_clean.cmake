@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoc_design.dir/qoc_design.cpp.o"
+  "CMakeFiles/qoc_design.dir/qoc_design.cpp.o.d"
+  "qoc_design"
+  "qoc_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoc_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
