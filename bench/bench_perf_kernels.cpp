@@ -52,6 +52,79 @@ void BM_ExpmFrechet(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpmFrechet)->Arg(2)->Arg(4)->Arg(9)->Arg(16);
 
+// --- multi-direction Frechet: augmented reference vs shared engine ----------
+//
+// Args are (N, m): matrix size and number of directions (= GRAPE controls).
+// The sweep covers the paper's single-qubit (N=3 transmon) and pair (N=9)
+// sizes with m = 2 and 4 controls.
+
+std::vector<linalg::Mat> frechet_directions(std::size_t n, std::size_t m) {
+    std::vector<linalg::Mat> dirs;
+    for (std::size_t j = 0; j < m; ++j) {
+        dirs.push_back(linalg::cplx{0.0, -0.1} *
+                       random_hermitian(n, 100 + static_cast<unsigned>(j)));
+    }
+    return dirs;
+}
+
+/// Old GRAPE cost: one Van Loan 2Nx2N augmented expm per direction.
+void BM_ExpmFrechetAugmented(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto m = static_cast<std::size_t>(state.range(1));
+    const linalg::Mat a = linalg::cplx{0.0, -0.1} * random_hermitian(n, 7);
+    const auto dirs = frechet_directions(n, m);
+    for (auto _ : state) {
+        for (std::size_t j = 0; j < m; ++j) {
+            benchmark::DoNotOptimize(linalg::expm_frechet(a, dirs[j]));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ExpmFrechetAugmented)
+    ->Args({3, 2})->Args({3, 4})->Args({9, 2})->Args({9, 4});
+
+/// New cost: e^A plus all m derivatives from one shared-intermediate call,
+/// with the workspace reused across iterations exactly as the GRAPE hot
+/// loop reuses it across slots (no allocation after the first iteration).
+void BM_ExpmFrechetMulti(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto m = static_cast<std::size_t>(state.range(1));
+    const linalg::Mat a = linalg::cplx{0.0, -0.1} * random_hermitian(n, 7);
+    const auto dirs = frechet_directions(n, m);
+    linalg::ExpmWorkspace ws;
+    linalg::Mat ea;
+    std::vector<linalg::Mat> ls(m);
+    for (auto _ : state) {
+        linalg::expm_frechet_multi(a, dirs.data(), m, ea, ls.data(), ws,
+                                   linalg::ExpmMethod::kPade);
+        benchmark::DoNotOptimize(ea);
+        benchmark::DoNotOptimize(ls);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ExpmFrechetMulti)
+    ->Args({3, 2})->Args({3, 4})->Args({9, 2})->Args({9, 4});
+
+/// Spectral (Daleckii-Krein) path on the same anti-Hermitian inputs.
+void BM_ExpmFrechetMultiSpectral(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto m = static_cast<std::size_t>(state.range(1));
+    const linalg::Mat a = linalg::cplx{0.0, -0.1} * random_hermitian(n, 7);
+    const auto dirs = frechet_directions(n, m);
+    linalg::ExpmWorkspace ws;
+    linalg::Mat ea;
+    std::vector<linalg::Mat> ls(m);
+    for (auto _ : state) {
+        linalg::expm_frechet_multi(a, dirs.data(), m, ea, ls.data(), ws,
+                                   linalg::ExpmMethod::kSpectral);
+        benchmark::DoNotOptimize(ea);
+        benchmark::DoNotOptimize(ls);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ExpmFrechetMultiSpectral)
+    ->Args({3, 2})->Args({3, 4})->Args({9, 2})->Args({9, 4});
+
 void BM_GrapeObjectiveClosed(benchmark::State& state) {
     control::GrapeProblem prob;
     prob.system.drift = quantum::duffing_drift(3, 0.0, -2.0);

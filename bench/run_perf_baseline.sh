@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the kernel microbenchmark suite and records the results as JSON, so a
+# perf change can quote before/after numbers from identical invocations:
+#
+#   bench/run_perf_baseline.sh [build_dir] [output.json] [extra benchmark args]
+#
+# Defaults: build_dir=build, output=BENCH_kernels.json (repo root).  The
+# min-time is passed as a plain double -- the pinned google-benchmark
+# predates the "0.01s" suffix syntax.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+out="${2:-BENCH_kernels.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+bin="$build_dir/bench/bench_perf_kernels"
+if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found -- configure and build first:" >&2
+    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j --target bench_perf_kernels" >&2
+    exit 1
+fi
+
+"$bin" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.05 \
+    "$@"
+
+echo "wrote $out"

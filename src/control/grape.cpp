@@ -7,12 +7,32 @@
 
 #include "linalg/expm.hpp"
 
+#ifdef QOC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 namespace qoc::control {
 
 namespace {
 
 using linalg::cplx;
 constexpr cplx kI{0.0, 1.0};
+
+inline std::size_t max_threads() {
+#ifdef QOC_HAVE_OPENMP
+    return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+    return 1;
+#endif
+}
+
+inline std::size_t thread_id() {
+#ifdef QOC_HAVE_OPENMP
+    return static_cast<std::size_t>(omp_get_thread_num());
+#else
+    return 0;
+#endif
+}
 
 /// Shared machinery for closed/open GRAPE objective evaluation.
 class PwcEvaluator {
@@ -80,6 +100,17 @@ public:
         // Pre-scale control generators into exponent directions.
         const cplx scale = open_ ? cplx{dt_, 0.0} : (-kI * dt_);
         for (const Mat& c : prob_.system.ctrls) exp_dirs_.push_back(scale * c);
+
+        // Shared-Pade for both systems.  Closed-system slot exponents are
+        // anti-Hermitian and *could* take the Daleckii-Krein spectral path
+        // (kAuto), but the optimizer trajectory is chaotic in the last few
+        // digits: switching the arithmetic shifts converged design errors at
+        // the ~1e-6 level on the CX benchmark.  Pade keeps the roundoff
+        // profile of the historical augmented-block gradients (design
+        // fidelities reproduce to <= 1e-9) while still getting the
+        // shared-intermediate speedup; the spectral path stays available to
+        // propagator builders, where no optimizer feeds back on the result.
+        method_ = linalg::ExpmMethod::kPade;
     }
 
     std::size_t n_params() const { return n_ts_ * n_ctrl_; }
@@ -101,17 +132,34 @@ public:
         return x;
     }
 
+    /// Slot exponent `scale * (drift + sum u_j ctrl_j)`, written into `out`
+    /// without allocating (on shape reuse).  `amps` points at `n_ctrl_`
+    /// contiguous amplitudes.
+    void slot_exponent_into(const double* amps, Mat& out) const {
+        out = prob_.system.drift;
+        for (std::size_t j = 0; j < n_ctrl_; ++j) {
+            linalg::add_scaled(out, cplx{amps[j], 0.0}, prob_.system.ctrls[j]);
+        }
+        out *= open_ ? cplx{dt_, 0.0} : (-kI * dt_);
+    }
+
     /// Slot exponent `scale * (drift + sum u_j ctrl_j)`.
     Mat slot_exponent(const std::vector<double>& amps) const {
-        const Mat gen = prob_.system.generator(amps);
-        return open_ ? Mat(dt_ * gen) : Mat((-kI * dt_) * gen);
+        Mat out;
+        slot_exponent_into(amps.data(), out);
+        return out;
     }
 
     /// Final evolution operator for an amplitude table.
     Mat evolution(const ControlAmplitudes& amps) const {
+        ensure_scratch(1);
+        EvalScratch& sc = scratch_[0];
         Mat total = Mat::identity(prob_.system.drift.rows());
         for (std::size_t k = 0; k < n_ts_; ++k) {
-            total = linalg::expm(slot_exponent(amps[k])) * total;
+            slot_exponent_into(amps[k].data(), sc.gen);
+            linalg::expm_into(sc.gen, sc.prop, sc.ws, method_);
+            linalg::gemm_into(sc.prop, total, sc.tmp);
+            std::swap(total, sc.tmp);
         }
         return total;
     }
@@ -137,38 +185,62 @@ public:
     }
 
     /// Full objective: fidelity error and its exact gradient.
+    ///
+    /// Zero-alloc contract: per-slot propagators, Frechet derivatives,
+    /// partial products and all expm intermediates live in evaluator-owned
+    /// workspaces (one per OpenMP thread) that are reused across the
+    /// thousands of L-BFGS-B evaluations; after the first call at a given
+    /// problem shape the hot loop performs no heap allocation.  Results are
+    /// bit-identical for any thread count: every slot's computation is
+    /// independent and writes to disjoint storage.
     double objective(const std::vector<double>& x, std::vector<double>& grad) const {
-        const ControlAmplitudes amps = unflatten(x);
-        const std::size_t dim = prob_.system.drift.rows();
+        ensure_scratch(max_threads());
+        props_.resize(n_ts_);
+        dprops_.resize(n_ts_ * n_ctrl_);
 
-        // Per-slot propagators and their control derivatives.
-        std::vector<Mat> props(n_ts_);
-        std::vector<std::vector<Mat>> dprops(n_ts_, std::vector<Mat>(n_ctrl_));
+        // Per-slot propagators and their control derivatives: e^A and every
+        // L(A, E_j) from ONE shared-intermediate call per slot (the old code
+        // paid one augmented 2Nx2N expm per control and threw away all but
+        // the first propagator).
 #ifdef QOC_HAVE_OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif
         for (std::size_t k = 0; k < n_ts_; ++k) {
-            const Mat a = slot_exponent(amps[k]);
-            for (std::size_t j = 0; j < n_ctrl_; ++j) {
-                auto [ea, frechet] = linalg::expm_frechet(a, exp_dirs_[j]);
-                if (j == 0) props[k] = std::move(ea);
-                dprops[k][j] = std::move(frechet);
-            }
+            EvalScratch& sc = scratch_[thread_id()];
+            slot_exponent_into(&x[k * n_ctrl_], sc.gen);
+            linalg::expm_frechet_multi(sc.gen, exp_dirs_.data(), n_ctrl_, props_[k],
+                                       &dprops_[k * n_ctrl_], sc.ws, method_);
         }
 
-        const auto fwd = dynamics::forward_products(props);
-        const auto bwd = dynamics::backward_products(props);
-        const Mat& evo = fwd.back();
+        // Forward partial products fwd[k] = P_k ... P_0 and backward
+        // products bwd[k] = P_{N-1} ... P_{k+1}, into reused storage.
+        fwd_.resize(n_ts_);
+        bwd_.resize(n_ts_);
+        fwd_[0] = props_[0];
+        for (std::size_t k = 1; k < n_ts_; ++k) linalg::gemm_into(props_[k], fwd_[k - 1], fwd_[k]);
+        const std::size_t dim = prob_.system.drift.rows();
+        bwd_[n_ts_ - 1].resize(dim, dim);
+        for (std::size_t i = 0; i < dim; ++i) bwd_[n_ts_ - 1](i, i) = cplx{1.0, 0.0};
+        for (std::size_t k = n_ts_ - 1; k-- > 0;) {
+            linalg::gemm_into(bwd_[k + 1], props_[k + 1], bwd_[k]);
+        }
+
+        const Mat& evo = fwd_.back();
         const double err = fid_err_of(evo);
 
         // Cost-side matrix C such that d(val)/du = Tr((fwd_{k-1} C bwd_k) dP).
-        Mat c_mat;
         cplx g_overlap{0.0, 0.0};
         if (prob_.fidelity == FidelityType::kTraceDiff) {
-            c_mat = (prob_.target - evo).adjoint();
+            c_adj_.resize(dim, dim);
+            for (std::size_t i = 0; i < dim; ++i)
+                for (std::size_t j = 0; j < dim; ++j)
+                    c_adj_(j, i) = std::conj(prob_.target(i, j) - evo(i, j));
         } else {
             g_overlap = linalg::hs_inner(overlap_target_, evo);
-            c_mat = overlap_target_.adjoint();
+            c_adj_.resize(overlap_target_.cols(), overlap_target_.rows());
+            for (std::size_t i = 0; i < overlap_target_.rows(); ++i)
+                for (std::size_t j = 0; j < overlap_target_.cols(); ++j)
+                    c_adj_(j, i) = std::conj(overlap_target_(i, j));
         }
 
         grad.assign(n_params(), 0.0);
@@ -176,13 +248,16 @@ public:
 #pragma omp parallel for schedule(dynamic)
 #endif
         for (std::size_t k = 0; k < n_ts_; ++k) {
+            EvalScratch& sc = scratch_[thread_id()];
             // R_k = fwd_{k-1} * C * bwd_k  (so Tr(C bwd dP fwd) = Tr(R dP)).
-            Mat r = (k == 0) ? Mat(c_mat * bwd[k]) : Mat(fwd[k - 1] * c_mat * bwd[k]);
+            linalg::gemm_into(c_adj_, bwd_[k], sc.tmp);
+            const Mat* r = &sc.tmp;
+            if (k > 0) {
+                linalg::gemm_into(fwd_[k - 1], sc.tmp, sc.prop);
+                r = &sc.prop;
+            }
             for (std::size_t j = 0; j < n_ctrl_; ++j) {
-                cplx dg{0.0, 0.0};
-                const Mat& dp = dprops[k][j];
-                for (std::size_t a = 0; a < dim; ++a)
-                    for (std::size_t b = 0; b < dim; ++b) dg += r(a, b) * dp(b, a);
+                const cplx dg = linalg::trace_of_product(*r, dprops_[k * n_ctrl_ + j]);
                 double derr = 0.0;
                 switch (prob_.fidelity) {
                     case FidelityType::kPsu:
@@ -193,7 +268,7 @@ public:
                         derr = -dg.real() / norm_dim_;
                         break;
                     case FidelityType::kTraceDiff:
-                        derr = -dg.real() / static_cast<double>(evo.rows());
+                        derr = -dg.real() / static_cast<double>(dim);
                         break;
                 }
                 grad[k * n_ctrl_ + j] = derr;
@@ -212,6 +287,18 @@ public:
     }
 
 private:
+    /// Per-thread scratch: the expm engine workspace plus the slot/gradient
+    /// temporaries.  Shapes stabilize after the first objective call, so
+    /// reuse is allocation-free.
+    struct EvalScratch {
+        linalg::ExpmWorkspace ws;
+        Mat gen, prop, tmp;
+    };
+
+    void ensure_scratch(std::size_t n_threads) const {
+        if (scratch_.size() < n_threads) scratch_.resize(n_threads);
+    }
+
     const GrapeProblem& prob_;
     bool open_;
     std::size_t n_ctrl_ = 0;
@@ -220,6 +307,15 @@ private:
     double norm_dim_ = 1.0;
     Mat overlap_target_;
     std::vector<Mat> exp_dirs_;
+    linalg::ExpmMethod method_ = linalg::ExpmMethod::kAuto;
+
+    // Reusable evaluation workspace (mutable: objective() is logically
+    // const; these caches never change observable results).
+    mutable std::vector<EvalScratch> scratch_;
+    mutable std::vector<Mat> props_;   ///< per-slot propagators
+    mutable std::vector<Mat> dprops_;  ///< [slot * n_ctrl + ctrl] Frechet derivatives
+    mutable std::vector<Mat> fwd_, bwd_;
+    mutable Mat c_adj_;
 };
 
 GrapeResult run_lbfgsb(const GrapeProblem& problem, bool open_system,
@@ -285,14 +381,20 @@ GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_
 
     GrapeResult result;
     result.initial_amps = problem.initial_amps;
-    result.initial_fid_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
 
     std::vector<double> x = eval.flatten(problem.initial_amps);
     std::vector<double> grad;
     double lr = learning_rate;
-    double prev_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
+    double prev_err = 0.0;
     for (int it = 0; it < iterations; ++it) {
         const double err = eval.objective(x, grad);
+        if (it == 0) {
+            // The first objective call evaluates the unmodified amplitudes,
+            // so its value *is* the initial fidelity error; a separate
+            // evolution() pass would redo all n_ts propagators.
+            result.initial_fid_err = err;
+            prev_err = err;
+        }
         result.fid_err_history.push_back(err);
         // Simple backtracking: a diverging fixed-rate step would overstate
         // how slow first-order GRAPE is; halve the rate when the error rose.
@@ -302,6 +404,9 @@ GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_
             x[i] = std::clamp(x[i] - lr * grad[i], problem.amp_lower, problem.amp_upper);
         }
         ++result.evaluations;
+    }
+    if (iterations <= 0) {
+        result.initial_fid_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
     }
     result.iterations = iterations;
     result.final_amps = eval.unflatten(x);

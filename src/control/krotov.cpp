@@ -45,12 +45,31 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
         norm_dim = static_cast<double>(problem.target.rows());
     }
 
-    auto slot_propagator = [&](const std::vector<double>& amps) {
-        return linalg::expm((-kI * dt) * problem.system.generator(amps));
+    // One workspace threads through every exponential below: Krotov's
+    // sequential sweeps exponentiate n_ts same-size generators per
+    // iteration, and the shared scratch makes each one allocation-free
+    // (kAuto dispatches Hermitian-generator problems to the exact spectral
+    // path).
+    linalg::ExpmWorkspace ws;
+    Mat gen, prop_buf, tmp;
+    auto slot_propagator_into = [&](const std::vector<double>& amps, Mat& out) {
+        if (amps.size() != n_ctrl) {
+            throw std::invalid_argument("krotov_unitary: amplitude count mismatch");
+        }
+        gen = problem.system.drift;
+        for (std::size_t j = 0; j < n_ctrl; ++j) {
+            linalg::add_scaled(gen, cplx{amps[j], 0.0}, problem.system.ctrls[j]);
+        }
+        gen *= -kI * dt;
+        linalg::expm_into(gen, out, ws);
     };
     auto evolution = [&](const dynamics::ControlAmplitudes& amps) {
         Mat u = Mat::identity(dim);
-        for (std::size_t k = 0; k < n_ts; ++k) u = slot_propagator(amps[k]) * u;
+        for (std::size_t k = 0; k < n_ts; ++k) {
+            slot_propagator_into(amps[k], prop_buf);
+            linalg::gemm_into(prop_buf, u, tmp);
+            std::swap(u, tmp);
+        }
         return u;
     };
     auto fid_err = [&](const Mat& u_final) {
@@ -69,9 +88,12 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
     for (int iter = 0; iter < opts.max_iterations; ++iter) {
         // Forward propagators with the current (old) controls.
         std::vector<Mat> props(n_ts);
-        for (std::size_t k = 0; k < n_ts; ++k) props[k] = slot_propagator(amps[k]);
+        for (std::size_t k = 0; k < n_ts; ++k) slot_propagator_into(amps[k], props[k]);
         Mat u_final = Mat::identity(dim);
-        for (std::size_t k = 0; k < n_ts; ++k) u_final = props[k] * u_final;
+        for (std::size_t k = 0; k < n_ts; ++k) {
+            linalg::gemm_into(props[k], u_final, tmp);
+            std::swap(u_final, tmp);
+        }
 
         // Co-state boundary condition at T.
         const cplx tau = linalg::hs_inner(overlap, u_final);
@@ -82,7 +104,7 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
         std::vector<Mat> chi(n_ts + 1);
         chi[n_ts] = weight * overlap;
         for (std::size_t k = n_ts; k-- > 0;) {
-            chi[k] = linalg::adjoint_times(props[k], chi[k + 1]);
+            linalg::adjoint_times_into(props[k], chi[k + 1], chi[k]);
         }
 
         // Sequential forward sweep with updated controls.
@@ -92,12 +114,15 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
             for (std::size_t j = 0; j < n_ctrl; ++j) {
                 // Im Tr(chi^dag H_j U) at the slot start, with U the evolution
                 // under the already-updated earlier slots.
-                const cplx val = linalg::hs_inner(chi[k], problem.system.ctrls[j] * u);
+                linalg::gemm_into(problem.system.ctrls[j], u, tmp);
+                const cplx val = linalg::hs_inner(chi[k], tmp);
                 const double update = val.imag() / opts.lambda;
                 new_amps[k][j] = std::clamp(amps[k][j] + update, problem.amp_lower,
                                             problem.amp_upper);
             }
-            u = slot_propagator(new_amps[k]) * u;
+            slot_propagator_into(new_amps[k], prop_buf);
+            linalg::gemm_into(prop_buf, u, tmp);
+            std::swap(u, tmp);
         }
 
         const double new_err = fid_err(u);

@@ -93,14 +93,18 @@ Mat PulseExecutor::waveform_superop_1q(const std::vector<std::complex<double>>& 
                                        std::size_t qubit) const {
     const std::size_t d2 = config_.levels * config_.levels;
     Mat total = Mat::identity(d2);
-    Mat cached_prop;
+    Mat cached_prop, tmp;
+    linalg::ExpmWorkspace ws;
     std::complex<double> cached_sample{1e300, 1e300};  // sentinel: no cache yet
     for (const auto& s : samples) {
         if (s != cached_sample) {
-            cached_prop = linalg::expm(config_.dt * lindblad_generator_1q(s, qubit));
+            // Liouvillian: non-Hermitian, pin Pade.
+            linalg::expm_into(config_.dt * lindblad_generator_1q(s, qubit), cached_prop, ws,
+                              linalg::ExpmMethod::kPade);
             cached_sample = s;
         }
-        total = cached_prop * total;
+        linalg::gemm_into(cached_prop, total, tmp);
+        std::swap(total, tmp);
     }
     return total;
 }
@@ -188,7 +192,8 @@ Mat PulseExecutor::layer_superop_2q(const std::vector<std::complex<double>>& d0,
                                     const std::vector<std::complex<double>>& u0) const {
     const std::size_t n = std::max({d0.size(), d1.size(), u0.size()});
     Mat total = Mat::identity(16);
-    Mat cached;
+    Mat cached, tmp;
+    linalg::ExpmWorkspace ws;
     std::array<std::complex<double>, 3> cached_key{{{1e300, 0}, {0, 0}, {0, 0}}};
     for (std::size_t k = 0; k < n; ++k) {
         const std::complex<double> s0 = k < d0.size() ? d0[k] : std::complex<double>{};
@@ -196,10 +201,12 @@ Mat PulseExecutor::layer_superop_2q(const std::vector<std::complex<double>>& d0,
         const std::complex<double> su = k < u0.size() ? u0[k] : std::complex<double>{};
         const std::array<std::complex<double>, 3> key{{s0, s1, su}};
         if (key != cached_key) {
-            cached = linalg::expm(config_.dt * lindblad_generator_2q(s0, s1, su));
+            linalg::expm_into(config_.dt * lindblad_generator_2q(s0, s1, su), cached, ws,
+                              linalg::ExpmMethod::kPade);
             cached_key = key;
         }
-        total = cached * total;
+        linalg::gemm_into(cached, total, tmp);
+        std::swap(total, tmp);
     }
     return total;
 }

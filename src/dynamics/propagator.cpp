@@ -17,6 +17,27 @@ void check_amps(const PwcSystem& sys, const ControlAmplitudes& amps) {
         }
     }
 }
+
+/// Shared slot-exponentiation loop: builds `scale * (drift + sum u_j H_j)`
+/// into a reused buffer and exponentiates through one workspace, so a
+/// waveform of thousands of slots costs no allocation beyond the returned
+/// propagators themselves.
+std::vector<Mat> pwc_propagators(const PwcSystem& sys, const ControlAmplitudes& amps, cplx scale,
+                                 linalg::ExpmMethod method) {
+    check_amps(sys, amps);
+    linalg::ExpmWorkspace ws;
+    Mat gen;
+    std::vector<Mat> props(amps.size());
+    for (std::size_t k = 0; k < amps.size(); ++k) {
+        gen = sys.drift;
+        for (std::size_t j = 0; j < sys.ctrls.size(); ++j) {
+            linalg::add_scaled(gen, cplx{amps[k][j], 0.0}, sys.ctrls[j]);
+        }
+        gen *= scale;
+        linalg::expm_into(gen, props[k], ws, method);
+    }
+    return props;
+}
 }  // namespace
 
 Mat PwcSystem::generator(const std::vector<double>& amps) const {
@@ -30,24 +51,15 @@ Mat PwcSystem::generator(const std::vector<double>& amps) const {
 
 std::vector<Mat> pwc_unitary_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,
                                          double dt) {
-    check_amps(sys, amps);
-    std::vector<Mat> props;
-    props.reserve(amps.size());
-    for (const auto& slot : amps) {
-        props.push_back(linalg::expm((-kI * dt) * sys.generator(slot)));
-    }
-    return props;
+    // kAuto: Hermitian-generator slots take the exact spectral path.
+    return pwc_propagators(sys, amps, -kI * dt, linalg::ExpmMethod::kAuto);
 }
 
 std::vector<Mat> pwc_superop_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,
                                          double dt) {
-    check_amps(sys, amps);
-    std::vector<Mat> props;
-    props.reserve(amps.size());
-    for (const auto& slot : amps) {
-        props.push_back(linalg::expm(dt * sys.generator(slot)));
-    }
-    return props;
+    // Liouvillians are non-Hermitian: pin Pade rather than paying the
+    // anti-Hermitian scan per slot.
+    return pwc_propagators(sys, amps, cplx{dt, 0.0}, linalg::ExpmMethod::kPade);
 }
 
 Mat chain_product(const std::vector<Mat>& props) {

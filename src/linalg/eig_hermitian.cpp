@@ -18,18 +18,13 @@ double off_norm2(const Mat& a) {
     return s;
 }
 
-}  // namespace
-
-EigH eig_hermitian(const Mat& a, double herm_tol) {
-    if (!a.is_square()) throw std::invalid_argument("eig_hermitian: non-square");
-    if (!a.is_hermitian(herm_tol * std::max(1.0, a.max_abs()))) {
-        throw std::invalid_argument("eig_hermitian: matrix is not Hermitian");
-    }
-    const std::size_t n = a.rows();
-    Mat w = a;
-    Mat v = Mat::identity(n);
-
-    const double scale = std::max(1.0, a.frobenius_norm());
+/// Cyclic Jacobi sweeps: diagonalizes `w` in place while accumulating the
+/// rotations into `v` (which must start as the identity), so on return
+/// `a = v diag(w) v^dagger`.  Shared by the sorting and the no-alloc entry
+/// points; any change here changes both bitwise.
+void jacobi_diagonalize(Mat& w, Mat& v) {
+    const std::size_t n = w.rows();
+    const double scale = std::max(1.0, w.frobenius_norm());
     const double tol2 = std::pow(1e-14 * scale, 2) * static_cast<double>(n * n);
     const int max_sweeps = 60;
 
@@ -77,6 +72,19 @@ EigH eig_hermitian(const Mat& a, double herm_tol) {
             }
         }
     }
+}
+
+}  // namespace
+
+EigH eig_hermitian(const Mat& a, double herm_tol) {
+    if (!a.is_square()) throw std::invalid_argument("eig_hermitian: non-square");
+    if (!a.is_hermitian(herm_tol * std::max(1.0, a.max_abs()))) {
+        throw std::invalid_argument("eig_hermitian: matrix is not Hermitian");
+    }
+    const std::size_t n = a.rows();
+    Mat w = a;
+    Mat v = Mat::identity(n);
+    jacobi_diagonalize(w, v);
 
     // Collect and sort ascending.
     std::vector<double> evals(n);
@@ -94,6 +102,17 @@ EigH eig_hermitian(const Mat& a, double herm_tol) {
         for (std::size_t i = 0; i < n; ++i) out.eigenvectors(i, j) = v(i, order[j]);
     }
     return out;
+}
+
+void eig_hermitian_into(const Mat& a, std::vector<double>& eigenvalues, Mat& eigenvectors,
+                        Mat& work) {
+    const std::size_t n = a.rows();
+    work = a;
+    eigenvectors.resize(n, n);  // zero-fills, then seed the identity
+    for (std::size_t i = 0; i < n; ++i) eigenvectors(i, i) = cplx{1.0, 0.0};
+    jacobi_diagonalize(work, eigenvectors);
+    eigenvalues.resize(n);
+    for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = work(i, i).real();
 }
 
 Mat hermitian_function(const Mat& a, double (*f)(double)) {

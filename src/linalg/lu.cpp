@@ -1,12 +1,18 @@
 #include "linalg/lu.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 namespace qoc::linalg {
 
-Lu::Lu(const Mat& a) : lu_(a) {
+Lu::Lu(const Mat& a) { factor(a); }
+
+void Lu::factor(const Mat& a) {
     if (!a.is_square()) throw std::invalid_argument("Lu: non-square matrix");
+    lu_ = a;  // vector copy-assign: reuses capacity on same-size refactor
+    singular_ = false;
+    pivot_sign_ = 1;
     const std::size_t n = a.rows();
     piv_.resize(n);
     for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
@@ -48,13 +54,20 @@ cplx Lu::det() const {
 }
 
 Mat Lu::solve(const Mat& b) const {
+    Mat x;
+    solve_into(b, x);
+    return x;
+}
+
+void Lu::solve_into(const Mat& b, Mat& x) const {
     if (singular_) throw std::runtime_error("Lu::solve: singular matrix");
     const std::size_t n = lu_.rows();
     if (b.rows() != n) throw std::invalid_argument("Lu::solve: rhs shape mismatch");
+    assert(&x != &b);
     const std::size_t m = b.cols();
 
     // Apply permutation.
-    Mat x(n, m);
+    x.resize(n, m);
     for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = 0; j < m; ++j) x(i, j) = b(piv_[i], j);
 
@@ -76,7 +89,6 @@ Mat Lu::solve(const Mat& b) const {
         const cplx d = lu_(ii, ii);
         for (std::size_t j = 0; j < m; ++j) x(ii, j) /= d;
     }
-    return x;
 }
 
 Mat Lu::inverse() const { return solve(Mat::identity(lu_.rows())); }

@@ -14,8 +14,20 @@ namespace qoc::linalg {
 /// the packed factor matrix.
 class Lu {
 public:
+    /// Creates an empty factorization; call `factor` before use.
+    Lu() = default;
+
     /// Factorizes `a`.  Throws `std::invalid_argument` for non-square input.
     explicit Lu(const Mat& a);
+
+    /// (Re)factorizes `a`, reusing the internal storage of any previous
+    /// factorization of the same size (allocation-free on reuse).  This is
+    /// what lets the shared-Pade Frechet engine refactor `V - U` once per
+    /// slot without churning the heap.
+    void factor(const Mat& a);
+
+    /// True once `factor` (or the factorizing constructor) has run.
+    bool factored() const noexcept { return !lu_.empty(); }
 
     /// True when a pivot underflowed (matrix numerically singular).
     bool singular() const noexcept { return singular_; }
@@ -27,6 +39,10 @@ public:
     /// Solves `A x = b` for one or more right-hand sides (columns of b).
     /// Throws `std::runtime_error` when the factorization is singular.
     Mat solve(const Mat& b) const;
+
+    /// Solves `A x = b` into a caller-owned matrix (allocation-free on shape
+    /// reuse).  `x` must not alias `b`.
+    void solve_into(const Mat& b, Mat& x) const;
 
     /// Inverse of the original matrix.
     Mat inverse() const;

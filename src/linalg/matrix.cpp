@@ -37,6 +37,16 @@ Mat Mat::col_vector(std::vector<cplx> entries) {
     return Mat(n, 1, std::move(entries));
 }
 
+void Mat::resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, cplx{0.0, 0.0});
+}
+
+void Mat::set_zero() {
+    std::fill(data_.begin(), data_.end(), cplx{0.0, 0.0});
+}
+
 Mat Mat::diag(const std::vector<cplx>& entries) {
     Mat m(entries.size(), entries.size());
     for (std::size_t i = 0; i < entries.size(); ++i) m(i, i) = entries[i];
@@ -234,6 +244,81 @@ Mat adjoint_times(const Mat& a, const Mat& b) {
         }
     }
     return out;
+}
+
+namespace {
+/// Panel width of the k-dimension blocking in gemm_into/gemm_acc: 64 rows of
+/// b (64 * 162 entries * 16 B ~ 166 KB worst case, ~8 KB at GRAPE sizes)
+/// stay cache-resident while every row of `out` accumulates against them.
+constexpr std::size_t kGemmBlock = 64;
+
+void gemm_accumulate(const Mat& a, const Mat& b, Mat& out) {
+    const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+    for (std::size_t pp = 0; pp < k; pp += kGemmBlock) {
+        const std::size_t pend = std::min(pp + kGemmBlock, k);
+        for (std::size_t i = 0; i < n; ++i) {
+            const cplx* arow = &a.data()[i * k];
+            cplx* orow = &out.data()[i * m];
+            for (std::size_t p = pp; p < pend; ++p) {
+                const cplx aip = arow[p];
+                if (aip == cplx{0.0, 0.0}) continue;
+                const cplx* brow = &b.data()[p * m];
+                for (std::size_t j = 0; j < m; ++j) orow[j] += aip * brow[j];
+            }
+        }
+    }
+}
+}  // namespace
+
+void gemm_into(const Mat& a, const Mat& b, Mat& out) {
+    if (a.cols() != b.rows()) throw std::invalid_argument("gemm_into: shape mismatch");
+    assert(&out != &a && &out != &b);
+    out.resize(a.rows(), b.cols());
+    gemm_accumulate(a, b, out);
+}
+
+void gemm_acc(const Mat& a, const Mat& b, Mat& out) {
+    if (a.cols() != b.rows() || out.rows() != a.rows() || out.cols() != b.cols()) {
+        throw std::invalid_argument("gemm_acc: shape mismatch");
+    }
+    assert(&out != &a && &out != &b);
+    gemm_accumulate(a, b, out);
+}
+
+void adjoint_times_into(const Mat& a, const Mat& b, Mat& out) {
+    if (a.rows() != b.rows()) throw std::invalid_argument("adjoint_times_into: shape mismatch");
+    assert(&out != &a && &out != &b);
+    const std::size_t n = a.cols(), k = a.rows(), m = b.cols();
+    out.resize(n, m);
+    for (std::size_t p = 0; p < k; ++p) {
+        const cplx* arow = &a.data()[p * n];
+        const cplx* brow = &b.data()[p * m];
+        for (std::size_t i = 0; i < n; ++i) {
+            const cplx w = std::conj(arow[i]);
+            cplx* orow = &out.data()[i * m];
+            for (std::size_t j = 0; j < m; ++j) orow[j] += w * brow[j];
+        }
+    }
+}
+
+void add_scaled(Mat& y, cplx alpha, const Mat& x) {
+    if (y.rows() != x.rows() || y.cols() != x.cols()) {
+        throw std::invalid_argument("add_scaled: shape mismatch");
+    }
+    for (std::size_t i = 0; i < y.data().size(); ++i) y.data()[i] += alpha * x.data()[i];
+}
+
+cplx trace_of_product(const Mat& a, const Mat& b) {
+    if (a.cols() != b.rows() || a.rows() != b.cols()) {
+        throw std::invalid_argument("trace_of_product: shape mismatch");
+    }
+    const std::size_t n = a.rows(), k = a.cols();
+    cplx t{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+        const cplx* arow = &a.data()[i * k];
+        for (std::size_t j = 0; j < k; ++j) t += arow[j] * b(j, i);
+    }
+    return t;
 }
 
 cplx hs_inner(const Mat& a, const Mat& b) {

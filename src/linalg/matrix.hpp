@@ -54,6 +54,14 @@ public:
     /// Column vector from entries.
     static Mat col_vector(std::vector<cplx> entries);
 
+    /// Reshapes to `rows` x `cols` and zero-fills.  Reuses the existing
+    /// allocation whenever the new size fits the current capacity, which is
+    /// what makes the `*_into` kernels below allocation-free on reuse.
+    void resize(std::size_t rows, std::size_t cols);
+
+    /// Sets every entry to zero without changing the shape.
+    void set_zero();
+
     /// Diagonal matrix from entries.
     static Mat diag(const std::vector<cplx>& entries);
 
@@ -145,6 +153,34 @@ Mat operator*(const Mat& a, const Mat& b);
 
 /// `a^dagger * b` without forming the adjoint.
 Mat adjoint_times(const Mat& a, const Mat& b);
+
+// --- allocation-free kernels -------------------------------------------------
+//
+// The `*_into` family writes results into caller-owned matrices, resizing
+// them in place (no allocation once the destination has seen the shape).
+// Destinations must not alias the inputs.  These are the building blocks of
+// the GRAPE evaluator workspace and the shared-Pade Frechet engine, where
+// the same scratch matrices are recycled across thousands of objective
+// evaluations.
+
+/// `out = a * b` with a cache-blocked inner loop.  `out` must not alias
+/// `a` or `b`; it is resized (allocation-free on shape reuse).
+void gemm_into(const Mat& a, const Mat& b, Mat& out);
+
+/// `out += a * b`.  Shapes must already agree; `out` must not alias inputs.
+void gemm_acc(const Mat& a, const Mat& b, Mat& out);
+
+/// `out = a^dagger * b` without forming the adjoint.  `out` must not alias
+/// `a` or `b`; it is resized (allocation-free on shape reuse).
+void adjoint_times_into(const Mat& a, const Mat& b, Mat& out);
+
+/// `y += alpha * x` (complex axpy), allocation free.
+void add_scaled(Mat& y, cplx alpha, const Mat& x);
+
+/// `tr(a * b)` in a single pass without forming the product: the O(N^2)
+/// contraction sum_ij a(i,j) b(j,i).  Requires a.cols() == b.rows() and
+/// a.rows() == b.cols().
+cplx trace_of_product(const Mat& a, const Mat& b);
 
 /// `tr(a^dagger * b)` (Hilbert-Schmidt inner product) without forming the product.
 cplx hs_inner(const Mat& a, const Mat& b);
