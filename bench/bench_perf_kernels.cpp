@@ -173,6 +173,40 @@ void BM_RbSequence1q(benchmark::State& state) {
 }
 BENCHMARK(BM_RbSequence1q)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_RbSequence2q(benchmark::State& state) {
+    static device::PulseExecutor exec(device::ibmq_montreal());
+    static const auto defaults = device::build_default_gates(exec);
+    static const rb::Clifford1Q c1;
+    static const rb::Clifford2Q c2(c1);
+    static const rb::GateSet2Q gates(exec, defaults, c2);
+    const auto m = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        rb::RbOptions o;
+        o.lengths = {1, m / 2, m};
+        o.seeds_per_length = 2;
+        o.shots = 1024;
+        benchmark::DoNotOptimize(rb::run_rb_2q(exec, gates, o));
+    }
+}
+BENCHMARK(BM_RbSequence2q)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_IrbPipeline1q(benchmark::State& state) {
+    static device::PulseExecutor exec(device::ibmq_montreal());
+    static const auto defaults = device::build_default_gates(exec);
+    static const rb::Clifford1Q group;
+    static const rb::GateSet1Q gates(exec, defaults, 0, group);
+    static const linalg::Mat x_super = exec.schedule_superop_1q(defaults.get("x", {0}), 0);
+    static const std::size_t x_index = group.find(quantum::gates::x());
+    for (auto _ : state) {
+        rb::RbOptions o;
+        o.lengths = {1, 64, 128};
+        o.seeds_per_length = 2;
+        o.shots = 1024;
+        benchmark::DoNotOptimize(rb::run_irb_1q(exec, gates, 0, x_super, x_index, o));
+    }
+}
+BENCHMARK(BM_IrbPipeline1q)->Unit(benchmark::kMillisecond);
+
 void BM_Clifford2qSampling(benchmark::State& state) {
     static const rb::Clifford1Q c1;
     static const rb::Clifford2Q c2(c1);

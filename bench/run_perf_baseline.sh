@@ -4,9 +4,14 @@
 #
 #   bench/run_perf_baseline.sh [build_dir] [output.json] [extra benchmark args]
 #
-# Defaults: build_dir=build, output=BENCH_kernels.json (repo root).  The
-# min-time is passed as a plain double -- the pinned google-benchmark
-# predates the "0.01s" suffix syntax.
+# Defaults: build_dir=build, output=BENCH_kernels.json (repo root).
+#
+# The build is configured and (re)built here so recorded numbers always come
+# from a Release binary of the current tree -- never a stale or Debug one.
+# Note: the JSON's "library_build_type" field reports how the *system
+# google-benchmark library* was compiled, not this repo; the repo build type
+# is pinned below.  The min-time is passed as a plain double -- the pinned
+# google-benchmark predates the "0.01s" suffix syntax.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,17 +19,22 @@ build_dir="${1:-build}"
 out="${2:-BENCH_kernels.json}"
 shift $(( $# > 2 ? 2 : $# )) || true
 
-bin="$build_dir/bench/bench_perf_kernels"
-if [[ ! -x "$bin" ]]; then
-    echo "error: $bin not found -- configure and build first:" >&2
-    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j --target bench_perf_kernels" >&2
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+if [[ "$build_type" != "Release" ]]; then
+    echo "error: $build_dir is configured as '${build_type:-<empty>}', not Release." >&2
+    echo "Benchmark numbers from non-Release builds are not comparable;" >&2
+    echo "use a dedicated build dir: bench/run_perf_baseline.sh build-release" >&2
     exit 1
 fi
 
-"$bin" \
+cmake --build "$build_dir" -j --target bench_perf_kernels >/dev/null
+
+"$build_dir/bench/bench_perf_kernels" \
     --benchmark_out="$out" \
     --benchmark_out_format=json \
     --benchmark_min_time=0.05 \
     "$@"
 
-echo "wrote $out"
+echo "wrote $out (repo build type: $build_type)"

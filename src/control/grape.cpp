@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
@@ -205,7 +206,9 @@ public:
 #ifdef QOC_HAVE_OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif
-        for (std::size_t k = 0; k < n_ts_; ++k) {
+        // Signed induction variable: MSVC's OpenMP rejects unsigned ones.
+        for (std::int64_t ki = 0; ki < static_cast<std::int64_t>(n_ts_); ++ki) {
+            const std::size_t k = static_cast<std::size_t>(ki);
             EvalScratch& sc = scratch_[thread_id()];
             slot_exponent_into(&x[k * n_ctrl_], sc.gen);
             linalg::expm_frechet_multi(sc.gen, exp_dirs_.data(), n_ctrl_, props_[k],
@@ -247,7 +250,8 @@ public:
 #ifdef QOC_HAVE_OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif
-        for (std::size_t k = 0; k < n_ts_; ++k) {
+        for (std::int64_t ki = 0; ki < static_cast<std::int64_t>(n_ts_); ++ki) {
+            const std::size_t k = static_cast<std::size_t>(ki);
             EvalScratch& sc = scratch_[thread_id()];
             // R_k = fwd_{k-1} * C * bwd_k  (so Tr(C bwd dP fwd) = Tr(R dP)).
             linalg::gemm_into(c_adj_, bwd_[k], sc.tmp);

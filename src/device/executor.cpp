@@ -1,6 +1,7 @@
 #include "device/executor.hpp"
 
 #include <array>
+#include <bit>
 #include <cmath>
 #include <numbers>
 #include <random>
@@ -24,7 +25,30 @@ constexpr cplx kI{0.0, 1.0};
 double dephasing_rate(double t1, double t2) {
     return std::max(0.0, 1.0 / t2 - 0.5 / t1);
 }
+
+/// Tag distinguishing two-qubit keys from per-qubit 1q keys in the shared
+/// propagator cache (1q keys use the qubit index itself).
+constexpr std::uint64_t kKey2q = ~std::uint64_t{0};
+
+/// Entry cap for the propagator cache.  Real schedules carry at most a few
+/// hundred distinct amplitudes; the cap only guards pathological waveforms
+/// (past it, propagators are computed but not published, so references
+/// already handed out stay valid).
+constexpr std::size_t kPropCacheMax = 8192;
+
+std::uint64_t sample_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
 }  // namespace
+
+std::size_t PulseExecutor::PropKeyHash::operator()(const PropKey& k) const {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the key words
+    for (const std::uint64_t w : k.w) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return static_cast<std::size_t>(h);
+}
 
 double Counts::probability(const std::string& bitstring) const {
     const auto it = histogram.find(bitstring);
@@ -89,21 +113,39 @@ Mat PulseExecutor::lindblad_generator_1q(std::complex<double> sample, std::size_
     return quantum::liouvillian(h, collapse);
 }
 
+const Mat& PulseExecutor::sample_propagator_1q(std::complex<double> sample, std::size_t qubit,
+                                               Mat& scratch, linalg::ExpmWorkspace& ws) const {
+    const PropKey key{{static_cast<std::uint64_t>(qubit), sample_bits(sample.real()),
+                       sample_bits(sample.imag()), 0, 0, 0, 0}};
+    {
+        std::lock_guard<std::mutex> lock(prop_cache_mutex_);
+        const auto it = prop_cache_.find(key);
+        if (it != prop_cache_.end()) return it->second;
+    }
+    // Liouvillian: non-Hermitian, pin Pade.  Computed outside the lock; two
+    // threads racing on the same key produce bitwise-identical matrices, so
+    // whichever insert wins is indistinguishable.
+    linalg::expm_into(config_.dt * lindblad_generator_1q(sample, qubit), scratch, ws,
+                      linalg::ExpmMethod::kPade);
+    std::lock_guard<std::mutex> lock(prop_cache_mutex_);
+    if (prop_cache_.size() >= kPropCacheMax) return scratch;
+    return prop_cache_.try_emplace(key, scratch).first->second;
+}
+
 Mat PulseExecutor::waveform_superop_1q(const std::vector<std::complex<double>>& samples,
                                        std::size_t qubit) const {
     const std::size_t d2 = config_.levels * config_.levels;
     Mat total = Mat::identity(d2);
-    Mat cached_prop, tmp;
+    Mat scratch, tmp;
     linalg::ExpmWorkspace ws;
+    const Mat* prop = nullptr;
     std::complex<double> cached_sample{1e300, 1e300};  // sentinel: no cache yet
     for (const auto& s : samples) {
-        if (s != cached_sample) {
-            // Liouvillian: non-Hermitian, pin Pade.
-            linalg::expm_into(config_.dt * lindblad_generator_1q(s, qubit), cached_prop, ws,
-                              linalg::ExpmMethod::kPade);
+        if (prop == nullptr || s != cached_sample) {
+            prop = &sample_propagator_1q(s, qubit, scratch, ws);
             cached_sample = s;
         }
-        linalg::gemm_into(cached_prop, total, tmp);
+        linalg::gemm_into(*prop, total, tmp);
         std::swap(total, tmp);
     }
     return total;
@@ -187,25 +229,43 @@ Mat PulseExecutor::lindblad_generator_2q(std::complex<double> d0, std::complex<d
     return quantum::liouvillian(h, collapse);
 }
 
+const Mat& PulseExecutor::sample_propagator_2q(std::complex<double> d0, std::complex<double> d1,
+                                               std::complex<double> u0, Mat& scratch,
+                                               linalg::ExpmWorkspace& ws) const {
+    const PropKey key{{kKey2q, sample_bits(d0.real()), sample_bits(d0.imag()),
+                       sample_bits(d1.real()), sample_bits(d1.imag()), sample_bits(u0.real()),
+                       sample_bits(u0.imag())}};
+    {
+        std::lock_guard<std::mutex> lock(prop_cache_mutex_);
+        const auto it = prop_cache_.find(key);
+        if (it != prop_cache_.end()) return it->second;
+    }
+    linalg::expm_into(config_.dt * lindblad_generator_2q(d0, d1, u0), scratch, ws,
+                      linalg::ExpmMethod::kPade);
+    std::lock_guard<std::mutex> lock(prop_cache_mutex_);
+    if (prop_cache_.size() >= kPropCacheMax) return scratch;
+    return prop_cache_.try_emplace(key, scratch).first->second;
+}
+
 Mat PulseExecutor::layer_superop_2q(const std::vector<std::complex<double>>& d0,
                                     const std::vector<std::complex<double>>& d1,
                                     const std::vector<std::complex<double>>& u0) const {
     const std::size_t n = std::max({d0.size(), d1.size(), u0.size()});
     Mat total = Mat::identity(16);
-    Mat cached, tmp;
+    Mat scratch, tmp;
     linalg::ExpmWorkspace ws;
+    const Mat* prop = nullptr;
     std::array<std::complex<double>, 3> cached_key{{{1e300, 0}, {0, 0}, {0, 0}}};
     for (std::size_t k = 0; k < n; ++k) {
         const std::complex<double> s0 = k < d0.size() ? d0[k] : std::complex<double>{};
         const std::complex<double> s1 = k < d1.size() ? d1[k] : std::complex<double>{};
         const std::complex<double> su = k < u0.size() ? u0[k] : std::complex<double>{};
         const std::array<std::complex<double>, 3> key{{s0, s1, su}};
-        if (key != cached_key) {
-            linalg::expm_into(config_.dt * lindblad_generator_2q(s0, s1, su), cached, ws,
-                              linalg::ExpmMethod::kPade);
+        if (prop == nullptr || key != cached_key) {
+            prop = &sample_propagator_2q(s0, s1, su, scratch, ws);
             cached_key = key;
         }
-        linalg::gemm_into(cached, total, tmp);
+        linalg::gemm_into(*prop, total, tmp);
         std::swap(total, tmp);
     }
     return total;
@@ -252,6 +312,20 @@ double PulseExecutor::p1_after_readout(const Mat& rho, std::size_t qubit) const 
     return p1 * (1.0 - p.readout_p01) + p0 * p.readout_p10;
 }
 
+double PulseExecutor::p1_after_readout_vec(const Mat& vec_rho, std::size_t qubit) const {
+    // Column-stacking vec puts rho(k, k) at index k * (d + 1); same summation
+    // order as p1_after_readout, so the result is bitwise identical.
+    const std::size_t d = config_.levels;
+    if (vec_rho.cols() != 1 || vec_rho.rows() != d * d) {
+        throw std::invalid_argument("p1_after_readout_vec: expected levels^2 x 1 vector");
+    }
+    const auto& p = config_.qubit(qubit);
+    double p1 = 0.0;
+    for (std::size_t k = 1; k < d; ++k) p1 += vec_rho(k * (d + 1), 0).real();
+    const double p0 = 1.0 - p1;
+    return p1 * (1.0 - p.readout_p01) + p0 * p.readout_p10;
+}
+
 Counts PulseExecutor::measure_1q(const Mat& rho, std::size_t qubit, int shots,
                                  std::uint64_t seed) const {
     const double p1 = p1_after_readout(rho, qubit);
@@ -269,6 +343,22 @@ Counts PulseExecutor::measure_2q(const Mat& rho, int shots, std::uint64_t seed) 
     // True populations over |q0 q1>.
     std::array<double, 4> true_p{};
     for (std::size_t k = 0; k < 4; ++k) true_p[k] = std::max(0.0, rho(k, k).real());
+    return measure_2q_populations(true_p, shots, seed);
+}
+
+Counts PulseExecutor::measure_2q_vec(const Mat& vec_rho, int shots, std::uint64_t seed) const {
+    if (vec_rho.cols() != 1 || vec_rho.rows() != 16) {
+        throw std::invalid_argument("measure_2q_vec: expected 16 x 1 vector");
+    }
+    std::array<double, 4> true_p{};
+    for (std::size_t k = 0; k < 4; ++k) {
+        true_p[k] = std::max(0.0, vec_rho(k * 5, 0).real());  // vec diagonal
+    }
+    return measure_2q_populations(true_p, shots, seed);
+}
+
+Counts PulseExecutor::measure_2q_populations(const std::array<double, 4>& true_p, int shots,
+                                             std::uint64_t seed) const {
     double norm = true_p[0] + true_p[1] + true_p[2] + true_p[3];
     if (norm <= 0.0) norm = 1.0;
 

@@ -16,12 +16,16 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "device/backend_config.hpp"
+#include "linalg/expm.hpp"
 #include "linalg/matrix.hpp"
 #include "pulse/circuit.hpp"
 #include "pulse/schedule.hpp"
@@ -83,9 +87,17 @@ public:
     /// Readout of a 2-qubit density matrix (4x4), bitstring "q0q1".
     Counts measure_2q(const Mat& rho, int shots, std::uint64_t seed) const;
 
+    /// `measure_2q` on a vectorized (16x1, column-stacking) density matrix,
+    /// reading the populations straight off the vec diagonal -- the readout
+    /// companion of the RB engine's matvec propagation (no unvec round trip).
+    Counts measure_2q_vec(const Mat& vec_rho, int shots, std::uint64_t seed) const;
+
     /// Ideal readout probabilities P(read 1) for a 1-qubit state (confusion
     /// applied, no shot noise) -- used by deterministic tests.
     double p1_after_readout(const Mat& rho, std::size_t qubit) const;
+
+    /// `p1_after_readout` on a vectorized (levels^2 x 1) density matrix.
+    double p1_after_readout_vec(const Mat& vec_rho, std::size_t qubit) const;
 
     /// Ground state (levels-dim density matrix).
     Mat ground_state_1q() const;
@@ -97,7 +109,38 @@ private:
     Mat lindblad_generator_2q(std::complex<double> d0, std::complex<double> d1,
                               std::complex<double> u0) const;
 
+    /// Cache key for an amplitude -> single-sample propagator entry: a tag
+    /// (1q qubit index, or kKey2q) plus the raw bit patterns of the drive
+    /// samples.  Exact bit equality keeps cached propagators bitwise
+    /// identical to recomputation.
+    struct PropKey {
+        std::array<std::uint64_t, 7> w;
+        bool operator==(const PropKey& o) const { return w == o.w; }
+    };
+    struct PropKeyHash {
+        std::size_t operator()(const PropKey& k) const;
+    };
+
+    /// Returns the single-dt propagator for `sample` on `qubit`, from the
+    /// shared cache when present; otherwise computes it into `scratch` and
+    /// publishes it.  The returned reference stays valid for the lifetime of
+    /// the executor (entries are never erased).
+    const Mat& sample_propagator_1q(std::complex<double> sample, std::size_t qubit,
+                                    Mat& scratch, linalg::ExpmWorkspace& ws) const;
+    /// Two-qubit analogue for a (d0, d1, u0) sample triple.
+    const Mat& sample_propagator_2q(std::complex<double> d0, std::complex<double> d1,
+                                    std::complex<double> u0, Mat& scratch,
+                                    linalg::ExpmWorkspace& ws) const;
+
+    Counts measure_2q_populations(const std::array<double, 4>& true_p, int shots,
+                                  std::uint64_t seed) const;
+
     BackendConfig config_;
+    // Amplitude -> propagator cache shared across schedule builds: x/sx/cx
+    // schedules replay the same flat-top and Gaussian sample values, so the
+    // per-sample expm is paid once per distinct amplitude per executor.
+    mutable std::unordered_map<PropKey, Mat, PropKeyHash> prop_cache_;
+    mutable std::mutex prop_cache_mutex_;
     // Cached operator blocks (built once per executor).
     Mat h_drift_1q_base_;       // anharmonic part without detuning (per qubit added later)
     Mat drive_op_a_;            // annihilation (levels)

@@ -285,6 +285,22 @@ void gemm_acc(const Mat& a, const Mat& b, Mat& out) {
     gemm_accumulate(a, b, out);
 }
 
+void gemv_into(const Mat& a, const Mat& x, Mat& out) {
+    if (x.cols() != 1 || a.cols() != x.rows()) {
+        throw std::invalid_argument("gemv_into: shape mismatch");
+    }
+    assert(&out != &a && &out != &x);
+    const std::size_t n = a.rows(), k = a.cols();
+    out.resize(n, 1);
+    const cplx* xv = x.data().data();
+    for (std::size_t i = 0; i < n; ++i) {
+        const cplx* arow = &a.data()[i * k];
+        cplx acc{0.0, 0.0};
+        for (std::size_t j = 0; j < k; ++j) acc += arow[j] * xv[j];
+        out.data()[i] = acc;
+    }
+}
+
 void adjoint_times_into(const Mat& a, const Mat& b, Mat& out) {
     if (a.rows() != b.rows()) throw std::invalid_argument("adjoint_times_into: shape mismatch");
     assert(&out != &a && &out != &b);

@@ -170,6 +170,13 @@ void gemm_into(const Mat& a, const Mat& b, Mat& out);
 /// `out += a * b`.  Shapes must already agree; `out` must not alias inputs.
 void gemm_acc(const Mat& a, const Mat& b, Mat& out);
 
+/// `out = a * x` for a column vector `x` (n x 1): the O(n^2) matrix-vector
+/// product.  This is the propagation kernel of the RB engine, where applying
+/// a superoperator to a vectorized state replaces the O(n^3) superoperator
+/// composition.  `out` must not alias `a` or `x`; it is resized
+/// (allocation-free on shape reuse).
+void gemv_into(const Mat& a, const Mat& x, Mat& out);
+
 /// `out = a^dagger * b` without forming the adjoint.  `out` must not alias
 /// `a` or `b`; it is resized (allocation-free on shape reuse).
 void adjoint_times_into(const Mat& a, const Mat& b, Mat& out);

@@ -29,6 +29,13 @@ Mat unitary_superop(const Mat& u);
 /// Applies a superoperator to a density matrix (vectorize, multiply, unvec).
 Mat apply_superop(const Mat& superop, const Mat& rho);
 
+/// Allocation-free superoperator action on an already-vectorized state:
+/// `out = superop * vec_rho` where `vec_rho` is a d^2 x 1 column vector.
+/// `out` must not alias either input; it is resized in place (no allocation
+/// once it has seen the shape).  This is the O(d^4) propagation step the RB
+/// engine uses in place of O(d^6) superoperator composition.
+void apply_superop_into(const Mat& superop, const Mat& vec_rho, Mat& out);
+
 /// True when the superoperator preserves trace: vec(I)^T S = vec(I)^T.
 bool is_trace_preserving(const Mat& superop, double tol = 1e-9);
 

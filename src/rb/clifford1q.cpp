@@ -11,7 +11,7 @@
 
 namespace qoc::rb {
 
-Mat phase_normalize(const Mat& u) {
+void phase_normalize_inplace(Mat& u) {
     // Reference entry: the largest-magnitude element (ties broken by index
     // order, deterministic for exact group elements).
     std::size_t kmax = 0;
@@ -23,11 +23,33 @@ Mat phase_normalize(const Mat& u) {
             kmax = k;
         }
     }
-    if (vmax < 1e-12) return u;
+    if (vmax < 1e-12) return;
     const linalg::cplx phase = u.data()[kmax] / vmax;
+    for (auto& v : u.data()) v /= phase;
+}
+
+Mat phase_normalize(const Mat& u) {
     Mat out = u;
-    for (auto& v : out.data()) v /= phase;
+    phase_normalize_inplace(out);
     return out;
+}
+
+std::uint64_t phase_key(const Mat& u) {
+    const Mat n = phase_normalize(u);
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    auto mix = [&h](std::int64_t v) {
+        auto x = static_cast<std::uint64_t>(v);
+        for (int b = 0; b < 8; ++b) {
+            h ^= (x >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto& v : n.data()) {
+        // Round to the 1e-6 grid; casting to integer absorbs -0.
+        mix(static_cast<std::int64_t>(std::round(v.real() * 1e6)));
+        mix(static_cast<std::int64_t>(std::round(v.imag() * 1e6)));
+    }
+    return h;
 }
 
 std::string phase_hash(const Mat& u) {
@@ -72,6 +94,13 @@ Clifford1Q::Clifford1Q() {
         throw std::logic_error("Clifford1Q: generated group has wrong order");
     }
     identity_ = index_of.at(phase_hash(Mat::identity(2)));
+
+    // Canonical-phase hash index for O(1) find().
+    key_index_.reserve(kSize);
+    for (std::size_t i = 0; i < kSize; ++i) key_index_.emplace(phase_key(unitaries_[i]), i);
+    if (key_index_.size() != kSize) {
+        throw std::logic_error("Clifford1Q: phase_key collision within the group");
+    }
 
     // Multiplication and inverse tables.
     mult_table_.assign(kSize * kSize, 0);
@@ -156,11 +185,11 @@ Clifford1Q::Clifford1Q() {
 }
 
 std::size_t Clifford1Q::find(const Mat& u) const {
-    const std::string key = phase_hash(u);
-    for (std::size_t i = 0; i < kSize; ++i) {
-        if (phase_hash(unitaries_[i]) == key) return i;
+    const auto it = key_index_.find(phase_key(u));
+    if (it == key_index_.end() || !linalg::equal_up_to_phase(u, unitaries_[it->second], 1e-6)) {
+        throw std::invalid_argument("Clifford1Q::find: matrix is not a 1Q Clifford");
     }
-    throw std::invalid_argument("Clifford1Q::find: matrix is not a 1Q Clifford");
+    return it->second;
 }
 
 std::size_t Clifford1Q::pulse_count(std::size_t i) const {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -49,7 +50,8 @@ public:
     /// Index of the inverse element.
     std::size_t inverse(std::size_t i) const { return inv_table_[i]; }
 
-    /// Index of the group element equal (up to phase) to `u`; throws
+    /// Index of the group element equal (up to phase) to `u`, via the
+    /// canonical-phase hash built at construction; throws
     /// `std::invalid_argument` when `u` is not a Clifford.
     std::size_t find(const Mat& u) const;
 
@@ -64,6 +66,7 @@ private:
     std::vector<std::vector<BasisGate>> decomps_;
     std::vector<std::size_t> mult_table_;
     std::vector<std::size_t> inv_table_;
+    std::unordered_map<std::uint64_t, std::size_t> key_index_;  ///< phase_key -> element
     std::size_t identity_ = 0;
 };
 
@@ -71,7 +74,16 @@ private:
 /// equal-up-to-phase matrices map to the same representative.
 Mat phase_normalize(const Mat& u);
 
+/// In-place variant of `phase_normalize` (no allocation).
+void phase_normalize_inplace(Mat& u);
+
 /// Hash key of a phase-normalized matrix (entries rounded to 1e-6).
 std::string phase_hash(const Mat& u);
+
+/// 64-bit canonical-phase hash: FNV-1a over the phase-normalized entries
+/// rounded to the same 1e-6 grid as `phase_hash`, but without materializing a
+/// string.  Equal-up-to-phase matrices map to the same key; recovery lookups
+/// hash the net ideal unitary with this and verify the candidate exactly.
+std::uint64_t phase_key(const Mat& u);
 
 }  // namespace qoc::rb

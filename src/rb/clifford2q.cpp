@@ -38,6 +38,23 @@ Clifford2Q::Clifford2Q(const Clifford1Q& c1) : c1_(c1) {
     // The axis-cycling set {I, SH, (SH)^2}: SH maps X->Z->Y->X.
     const Mat sh = g::s() * g::h();
     s_set_ = {c1_.identity_index(), c1_.find(sh), c1_.find(sh * sh)};
+
+    // Cache every phase-normalized unitary and hash it for find().  ~3 MB;
+    // makes unitary() an indexed read in the RB sequence loop and find()
+    // race-free under OpenMP.
+    unitaries_.resize(kSize);
+    key_index_.reserve(kSize);
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(kSize); ++i) {
+        unitaries_[static_cast<std::size_t>(i)] =
+            compute_unitary(static_cast<std::size_t>(i));
+    }
+    for (std::size_t i = 0; i < kSize; ++i) key_index_.emplace(phase_key(unitaries_[i]), i);
+    if (key_index_.size() != kSize) {
+        throw std::logic_error("Clifford2Q: coset construction produced duplicates");
+    }
 }
 
 Clifford2Q::Parts Clifford2Q::split(std::size_t i) const {
@@ -73,7 +90,7 @@ Clifford2Q::Parts Clifford2Q::split(std::size_t i) const {
     return p;
 }
 
-Mat Clifford2Q::unitary(std::size_t i) const {
+Mat Clifford2Q::compute_unitary(std::size_t i) const {
     const Parts p = split(i);
     Mat u = linalg::kron(c1_.unitary(p.c_a), c1_.unitary(p.c_b)) * class_matrix(p.cls);
     if (p.cls == 1 || p.cls == 2) {
@@ -138,16 +155,8 @@ std::size_t Clifford2Q::sample(std::mt19937_64& rng) const {
 }
 
 std::size_t Clifford2Q::find(const Mat& u) const {
-    if (lookup_.empty()) {
-        for (std::size_t i = 0; i < kSize; ++i) {
-            lookup_.emplace(phase_hash(unitary(i)), i);
-        }
-        if (lookup_.size() != kSize) {
-            throw std::logic_error("Clifford2Q: coset construction produced duplicates");
-        }
-    }
-    const auto it = lookup_.find(phase_hash(u));
-    if (it == lookup_.end()) {
+    const auto it = key_index_.find(phase_key(u));
+    if (it == key_index_.end() || !linalg::equal_up_to_phase(u, unitaries_[it->second], 1e-6)) {
         throw std::invalid_argument("Clifford2Q::find: matrix is not a 2Q Clifford");
     }
     return it->second;

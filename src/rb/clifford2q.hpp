@@ -29,14 +29,18 @@ struct TwoQubitGate {
 
 class Clifford2Q {
 public:
+    /// Builds the group: all 11520 phase-normalized unitaries plus the
+    /// canonical-phase hash index used by `find` (a few ms; removes the
+    /// lazily-built lookup that raced when `find` was first hit inside an
+    /// OpenMP sequence loop).
     explicit Clifford2Q(const Clifford1Q& c1);
 
     static constexpr std::size_t kSize = 11520;
 
     std::size_t size() const { return kSize; }
 
-    /// Phase-normalized 4x4 unitary of element `i` (computed on demand).
-    Mat unitary(std::size_t i) const;
+    /// Phase-normalized 4x4 unitary of element `i` (cached at construction).
+    const Mat& unitary(std::size_t i) const { return unitaries_.at(i); }
 
     /// Decomposition into {rz, sx, x} on either qubit plus cx(0,1) /
     /// cx(1,0); cx(1,0) is emitted as h-conjugated cx(0,1) so only the
@@ -46,9 +50,10 @@ public:
     /// Uniformly random element index.
     std::size_t sample(std::mt19937_64& rng) const;
 
-    /// Index of the element equal (up to phase) to `u`.  Builds the inverse
-    /// lookup table on first use (~11520 hashes).  Throws when not a
-    /// Clifford.
+    /// Index of the element equal (up to phase) to `u`, via one
+    /// canonical-phase hash plus an exact verification of the candidate.
+    /// Thread-safe (the index is immutable after construction).  Throws when
+    /// not a Clifford.
     std::size_t find(const Mat& u) const;
 
     /// Index of the inverse of element `i`.
@@ -66,11 +71,12 @@ private:
         std::size_t s_i, s_j;   ///< axis-cycling layer (classes 1, 2 only)
     };
     Parts split(std::size_t i) const;
+    Mat compute_unitary(std::size_t i) const;
 
     const Clifford1Q& c1_;
     std::vector<std::size_t> s_set_;  ///< indices of {I, SH, (SH)^2} in C1
-    mutable std::vector<std::size_t> lookup_built_;  // lazily built hash map
-    mutable std::unordered_map<std::string, std::size_t> lookup_;
+    std::vector<Mat> unitaries_;      ///< all kSize phase-normalized unitaries
+    std::unordered_map<std::uint64_t, std::size_t> key_index_;  ///< phase_key -> element
 };
 
 }  // namespace qoc::rb

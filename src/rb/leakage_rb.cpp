@@ -1,45 +1,86 @@
 #include "rb/leakage_rb.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <random>
 
+#ifdef QOC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "linalg/kron.hpp"
 #include "optim/levmar.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
 
 namespace qoc::rb {
 
+namespace {
+
+inline std::size_t max_threads() {
+#ifdef QOC_HAVE_OPENMP
+    return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+    return 1;
+#endif
+}
+
+inline std::size_t thread_id() {
+#ifdef QOC_HAVE_OPENMP
+    return static_cast<std::size_t>(omp_get_thread_num());
+#else
+    return 0;
+#endif
+}
+
+}  // namespace
+
 LeakageRbResult run_leakage_rb_1q(const PulseExecutor& exec, const GateSet1Q& gates,
                                   const RbOptions& opts) {
     const Clifford1Q& group = gates.group();
-    const std::size_t d2 = gates.dim() * gates.dim();
-    const Mat rho0 = exec.ground_state_1q();
+    const std::size_t d = gates.dim();
+    const Mat vec_rho0 = linalg::vec(exec.ground_state_1q());
+
+    struct Workspace {
+        Mat v, v_next;
+    };
+    std::vector<Workspace> workspaces(max_threads());
 
     LeakageRbResult res;
     for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
         const std::size_t m = opts.lengths[li];
-        double mean_leak = 0.0;
+        // Per-seed slots plus a serial sum: an OpenMP reduction's addition
+        // order (and hence the rounded double) depends on the thread count.
+        std::vector<double> leaks(opts.seeds_per_length);
 #ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic) reduction(+ : mean_leak)
+#pragma omp parallel for schedule(dynamic)
 #endif
-        for (std::size_t s = 0; s < opts.seeds_per_length; ++s) {
-            std::mt19937_64 rng(opts.rng_seed + 104729 * (li * 1000 + s));
+        for (std::int64_t s = 0; s < static_cast<std::int64_t>(opts.seeds_per_length); ++s) {
+            std::mt19937_64 rng(opts.rng_seed +
+                                104729 * (li * 1000 + static_cast<std::size_t>(s)));
             std::uniform_int_distribution<std::size_t> dist(0, Clifford1Q::kSize - 1);
-            Mat total = Mat::identity(d2);
+            Workspace& w = workspaces[thread_id()];
+            w.v = vec_rho0;
             std::size_t net = group.identity_index();
             for (std::size_t k = 0; k < m; ++k) {
                 const std::size_t c = dist(rng);
-                total = gates.clifford_superop(c) * total;
+                quantum::apply_superop_into(gates.clifford_superop(c), w.v, w.v_next);
+                std::swap(w.v, w.v_next);
                 net = group.multiply(c, net);
             }
-            total = gates.clifford_superop(group.inverse(net)) * total;
-            const Mat rho = quantum::apply_superop(total, rho0);
+            quantum::apply_superop_into(gates.clifford_superop(group.inverse(net)), w.v,
+                                        w.v_next);
+            std::swap(w.v, w.v_next);
+            // rho(lvl, lvl) sits at vec index lvl * (d + 1) (column stacking).
             double leak = 0.0;
-            for (std::size_t lvl = 2; lvl < gates.dim(); ++lvl) {
-                leak += rho(lvl, lvl).real();
+            for (std::size_t lvl = 2; lvl < d; ++lvl) {
+                leak += w.v(lvl * (d + 1), 0).real();
             }
-            mean_leak += leak;
+            leaks[static_cast<std::size_t>(s)] = leak;
         }
+        double mean_leak = 0.0;
+        for (double l : leaks) mean_leak += l;
         res.lengths.push_back(m);
         res.leakage_population.push_back(mean_leak /
                                          static_cast<double>(opts.seeds_per_length));

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <random>
 #include <stdexcept>
 
+#ifdef QOC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "linalg/kron.hpp"
 #include "optim/levmar.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
@@ -14,10 +20,21 @@ namespace qoc::rb {
 
 namespace {
 
-/// Shared survival-probability machinery over an abstract Clifford engine.
-struct SequenceResult {
-    double survival = 0.0;
-};
+inline std::size_t max_threads() {
+#ifdef QOC_HAVE_OPENMP
+    return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+    return 1;
+#endif
+}
+
+inline std::size_t thread_id() {
+#ifdef QOC_HAVE_OPENMP
+    return static_cast<std::size_t>(omp_get_thread_num());
+#else
+    return 0;
+#endif
+}
 
 double survival_mean(std::vector<double>& vals) {
     double m = 0.0;
@@ -96,14 +113,26 @@ GateSet1Q::GateSet1Q(const PulseExecutor& exec, const pulse::InstructionSchedule
 
 namespace {
 
+/// Per-thread propagation state: the vectorized density matrix and a
+/// ping-pong buffer for `apply_superop_into` (no per-step allocation).
+struct SeqWorkspace {
+    Mat v;        ///< vec(rho) being propagated
+    Mat v_next;   ///< gemv output, swapped into `v`
+    Mat net;      ///< 2Q only: running phase-normalized ideal unitary
+    Mat net_next;
+};
+
 /// Generic 1Q RB loop; `interleave` (optional) gives the noisy superop and
-/// ideal Clifford index of the interleaved gate.
+/// ideal Clifford index of the interleaved gate.  The sequence is propagated
+/// as `vec(rho)` with one O(d^4) matvec per Clifford instead of composing
+/// O(d^6) superoperator products.
 RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size_t qubit,
                     const RbOptions& opts, const Mat* interleave_super,
                     std::size_t interleave_index) {
     const Clifford1Q& group = gates.group();
-    const std::size_t d2 = gates.dim() * gates.dim();
-    const Mat rho0 = exec.ground_state_1q();
+    const Mat vec_rho0 = linalg::vec(exec.ground_state_1q());
+
+    std::vector<SeqWorkspace> workspaces(max_threads());
 
     RbCurve curve;
     for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
@@ -113,32 +142,36 @@ RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size
 #ifdef QOC_HAVE_OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif
-        for (std::size_t s = 0; s < opts.seeds_per_length; ++s) {
+        for (std::int64_t s = 0; s < static_cast<std::int64_t>(opts.seeds_per_length); ++s) {
             // The interleaved experiment reuses the same random Clifford
             // sequences as the reference (standard IRB practice): paired
             // sequences cancel most sampling noise in the alpha ratio.
-            std::mt19937_64 rng(opts.rng_seed + 7919 * (li * 1000 + s));
+            std::mt19937_64 rng(opts.rng_seed +
+                                7919 * (li * 1000 + static_cast<std::size_t>(s)));
             std::uniform_int_distribution<std::size_t> dist(0, Clifford1Q::kSize - 1);
 
-            Mat total = Mat::identity(d2);
+            SeqWorkspace& w = workspaces[thread_id()];
+            w.v = vec_rho0;
             std::size_t net = group.identity_index();
             for (std::size_t k = 0; k < m; ++k) {
                 const std::size_t c = dist(rng);
-                total = gates.clifford_superop(c) * total;
+                quantum::apply_superop_into(gates.clifford_superop(c), w.v, w.v_next);
+                std::swap(w.v, w.v_next);
                 net = group.multiply(c, net);
                 if (interleave_super) {
-                    total = (*interleave_super) * total;
+                    quantum::apply_superop_into(*interleave_super, w.v, w.v_next);
+                    std::swap(w.v, w.v_next);
                     net = group.multiply(interleave_index, net);
                 }
             }
             const std::size_t rec = group.inverse(net);
-            total = gates.clifford_superop(rec) * total;
+            quantum::apply_superop_into(gates.clifford_superop(rec), w.v, w.v_next);
+            std::swap(w.v, w.v_next);
 
-            const Mat rho = quantum::apply_superop(total, rho0);
-            const double p0 = 1.0 - exec.p1_after_readout(rho, qubit);
+            const double p0 = 1.0 - exec.p1_after_readout_vec(w.v, qubit);
             // Shot sampling.
             std::binomial_distribution<int> shots_dist(opts.shots, std::clamp(p0, 0.0, 1.0));
-            survivals[s] =
+            survivals[static_cast<std::size_t>(s)] =
                 static_cast<double>(shots_dist(rng)) / static_cast<double>(opts.shots);
         }
         RbPoint pt;
@@ -178,7 +211,10 @@ IrbResult run_irb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::siz
 
 GateSet2Q::GateSet2Q(const PulseExecutor& exec, const pulse::InstructionScheduleMap& gates,
                      const Clifford2Q& group)
-    : group_(group), exec_(exec) {
+    : group_(group),
+      exec_(exec),
+      cliff_cache_(Clifford2Q::kSize),
+      cliff_once_(std::make_unique<std::once_flag[]>(Clifford2Q::kSize)) {
     for (std::size_t q = 0; q < 2; ++q) {
         const pulse::Schedule& xs = gates.get("x", {q});
         const pulse::Schedule& sxs = gates.get("sx", {q});
@@ -198,7 +234,7 @@ GateSet2Q::GateSet2Q(const PulseExecutor& exec, const pulse::InstructionSchedule
     cx_super_ = exec.schedule_superop_2q(gates.get("cx", {0, 1}));
 }
 
-Mat GateSet2Q::clifford_superop(std::size_t i) const {
+Mat GateSet2Q::compose_superop(std::size_t i) const {
     Mat total = Mat::identity(16);
     for (const TwoQubitGate& g : group_.decomposition(i)) {
         if (g.name == "rz") {
@@ -216,14 +252,36 @@ Mat GateSet2Q::clifford_superop(std::size_t i) const {
     return total;
 }
 
+const Mat& GateSet2Q::clifford_superop(std::size_t i) const {
+    std::call_once(cliff_once_[i], [&] { cliff_cache_[i] = compose_superop(i); });
+    return cliff_cache_[i];
+}
+
+void GateSet2Q::precompute_all() const {
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 64)
+#endif
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(Clifford2Q::kSize); ++i) {
+        clifford_superop(static_cast<std::size_t>(i));
+    }
+}
+
 namespace {
 
 RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbOptions& opts,
                     const Mat* interleave_super, std::size_t interleave_index) {
     const Clifford2Q& group = gates.group();
-    const Mat rho0 = exec.ground_state_2q();
+    const Mat vec_rho0 = linalg::vec(exec.ground_state_2q());
     const Mat interleave_ideal =
         interleave_super ? group.unitary(interleave_index) : Mat::identity(4);
+
+    // Long runs revisit most of the 11520-element group; filling the superop
+    // cache eagerly (in parallel) beats lazy misses inside the sequence loop.
+    std::size_t total_steps = 0;
+    for (std::size_t m : opts.lengths) total_steps += m * opts.seeds_per_length;
+    if (total_steps >= 2 * Clifford2Q::kSize) gates.precompute_all();
+
+    std::vector<SeqWorkspace> workspaces(max_threads());
 
     RbCurve curve;
     for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
@@ -233,27 +291,35 @@ RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbO
 #ifdef QOC_HAVE_OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif
-        for (std::size_t s = 0; s < opts.seeds_per_length; ++s) {
+        for (std::int64_t s = 0; s < static_cast<std::int64_t>(opts.seeds_per_length); ++s) {
             // Paired sequences with the reference run (see rb_curve_1q).
-            std::mt19937_64 rng(opts.rng_seed + 6271 * (li * 1000 + s));
+            std::mt19937_64 rng(opts.rng_seed +
+                                6271 * (li * 1000 + static_cast<std::size_t>(s)));
 
-            Mat total = Mat::identity(16);
-            Mat net_ideal = Mat::identity(4);
+            SeqWorkspace& w = workspaces[thread_id()];
+            w.v = vec_rho0;
+            w.net = Mat::identity(4);
             for (std::size_t k = 0; k < m; ++k) {
                 const std::size_t c = group.sample(rng);
-                total = gates.clifford_superop(c) * total;
-                net_ideal = phase_normalize(group.unitary(c) * net_ideal);
+                quantum::apply_superop_into(gates.clifford_superop(c), w.v, w.v_next);
+                std::swap(w.v, w.v_next);
+                linalg::gemm_into(group.unitary(c), w.net, w.net_next);
+                phase_normalize_inplace(w.net_next);
+                std::swap(w.net, w.net_next);
                 if (interleave_super) {
-                    total = (*interleave_super) * total;
-                    net_ideal = phase_normalize(interleave_ideal * net_ideal);
+                    quantum::apply_superop_into(*interleave_super, w.v, w.v_next);
+                    std::swap(w.v, w.v_next);
+                    linalg::gemm_into(interleave_ideal, w.net, w.net_next);
+                    phase_normalize_inplace(w.net_next);
+                    std::swap(w.net, w.net_next);
                 }
             }
-            const std::size_t rec = group.find(net_ideal.adjoint());
-            total = gates.clifford_superop(rec) * total;
+            const std::size_t rec = group.find(w.net.adjoint());
+            quantum::apply_superop_into(gates.clifford_superop(rec), w.v, w.v_next);
+            std::swap(w.v, w.v_next);
 
-            const Mat rho = quantum::apply_superop(total, rho0);
-            const device::Counts counts = exec.measure_2q(rho, opts.shots, rng());
-            survivals[s] = counts.probability("00");
+            const device::Counts counts = exec.measure_2q_vec(w.v, opts.shots, rng());
+            survivals[static_cast<std::size_t>(s)] = counts.probability("00");
         }
         RbPoint pt;
         pt.length = m;

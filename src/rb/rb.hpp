@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "device/executor.hpp"
@@ -91,22 +93,36 @@ IrbResult run_irb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::siz
                      const RbOptions& options);
 
 /// Two-qubit gate set: builds superops for the 1Q basis gates on each qubit
-/// and for cx(0,1); Clifford superops are composed on demand (11520 is too
-/// many to precompute) with memoization.
+/// and for cx(0,1).  Clifford superops are composed from those shared
+/// basis-gate superops into a lazily-memoized, thread-safe cache over the
+/// full 11520-element group (the value of entry `i` depends only on `i`, so
+/// any thread may build it and results are independent of thread count).
 class GateSet2Q {
 public:
     GateSet2Q(const PulseExecutor& exec, const pulse::InstructionScheduleMap& gates,
               const Clifford2Q& group);
 
-    /// Superoperator (16x16) implementing 2Q Clifford `i` at pulse level.
-    Mat clifford_superop(std::size_t i) const;
+    /// Superoperator (16x16) implementing 2Q Clifford `i` at pulse level;
+    /// composed on first use, cached afterwards.
+    const Mat& clifford_superop(std::size_t i) const;
+
+    /// Eagerly fills the whole cache (OpenMP-parallel).  Worth calling ahead
+    /// of runs whose sequences will touch most of the group; lazy filling is
+    /// cheaper for short smoke runs.
+    void precompute_all() const;
 
     const Clifford2Q& group() const { return group_; }
 
 private:
+    /// Gate-by-gate composition of element `i` from the decomposition (the
+    /// cache-miss path).
+    Mat compose_superop(std::size_t i) const;
+
     const Clifford2Q& group_;
     Mat x_super_[2], sx_super_[2], cx_super_;
     const PulseExecutor& exec_;
+    mutable std::vector<Mat> cliff_cache_;
+    mutable std::unique_ptr<std::once_flag[]> cliff_once_;
 };
 
 RbCurve run_rb_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbOptions& options);

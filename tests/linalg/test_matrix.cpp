@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 namespace qoc::linalg {
@@ -208,6 +209,36 @@ TEST(Matrix, StreamOutputContainsEntries) {
     std::ostringstream os;
     os << m;
     EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(Matrix, GemvIntoMatchesOperatorProduct) {
+    // Rectangular a (6x4) against a dense column vector; the matvec must be
+    // bitwise identical to the gemm path (same per-row accumulation order).
+    const std::size_t n = 6, k = 4;
+    Mat a(n, k), x(k, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            a(i, j) = cplx(std::sin(1.0 + static_cast<double>(i * k + j)),
+                           std::cos(2.0 + static_cast<double>(3 * i + j)));
+    for (std::size_t j = 0; j < k; ++j)
+        x(j, 0) = cplx(0.3 * static_cast<double>(j + 1), -0.7 + static_cast<double>(j));
+
+    const Mat ref = a * x;
+    Mat out;
+    gemv_into(a, x, out);
+    ASSERT_EQ(out.rows(), n);
+    ASSERT_EQ(out.cols(), 1u);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out(i, 0), ref(i, 0)) << "i=" << i;
+
+    // Reuse (dirty buffer of the right shape): result must not care.
+    gemv_into(a, x, out);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out(i, 0), ref(i, 0)) << "reuse i=" << i;
+}
+
+TEST(Matrix, GemvIntoRejectsBadShapes) {
+    Mat a(3, 2), x_bad_rows(3, 1), x_not_vector(2, 2), out;
+    EXPECT_THROW(gemv_into(a, x_bad_rows, out), std::invalid_argument);
+    EXPECT_THROW(gemv_into(a, x_not_vector, out), std::invalid_argument);
 }
 
 }  // namespace
