@@ -9,6 +9,7 @@
 #include "control/grape.hpp"
 #include "device/calibration.hpp"
 #include "linalg/expm.hpp"
+#include "obs/obs.hpp"
 #include "quantum/gates.hpp"
 #include "quantum/operators.hpp"
 #include "quantum/superop.hpp"
@@ -206,6 +207,35 @@ void BM_IrbPipeline1q(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_IrbPipeline1q)->Unit(benchmark::kMillisecond);
+
+// --- observability gate cost ----------------------------------------------
+//
+// Arg 0: obs fully disabled (the default production state) -- the per-call
+// cost must be one relaxed load + branch.  Arg 1: tracing + metrics enabled
+// in memory-only mode, bounding the enabled-path cost of a Span + counter
+// pair.  State is reset afterwards so the remaining benchmarks always run
+// with obs off.
+void BM_ObsOverhead(benchmark::State& state) {
+    // When QOC_TRACE/QOC_METRICS already activated obs (run_perf_baseline.sh
+    // does), leave that state alone -- resetting would close the live
+    // telemetry file.  Both args then measure the externally-enabled path.
+    const bool externally_enabled =
+        obs::g_obs_state.load(std::memory_order_relaxed) != 0;
+    if (!externally_enabled && state.range(0) == 1) {
+        obs::enable_tracing("");
+        obs::enable_metrics("");
+    }
+    constexpr int kOpsPerIter = 1000;
+    for (auto _ : state) {
+        for (int i = 0; i < kOpsPerIter; ++i) {
+            obs::Span span("bench.obs_overhead");
+            obs::count(obs::Cnt::kGemmCalls);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+    if (!externally_enabled) obs::reset_for_testing();
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
 void BM_Clifford2qSampling(benchmark::State& state) {
     static const rb::Clifford1Q c1;

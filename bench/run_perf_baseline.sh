@@ -31,10 +31,15 @@ fi
 
 cmake --build "$build_dir" -j --target bench_perf_kernels >/dev/null
 
-"$build_dir/bench/bench_perf_kernels" \
+# Record the obs metrics registry alongside the timings: the JSONL's final
+# {"type":"metrics",...} line snapshots kernel-call and cache-hit counts for
+# the exact run the numbers came from.
+metrics_out="${out%.json}.metrics.jsonl"
+QOC_METRICS="$metrics_out" "$build_dir/bench/bench_perf_kernels" \
     --benchmark_out="$out" \
     --benchmark_out_format=json \
     --benchmark_min_time=0.05 \
     "$@"
 
 echo "wrote $out (repo build type: $build_type)"
+echo "wrote $metrics_out (obs metrics for this run)"

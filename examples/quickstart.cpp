@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "control/pulseoptim.hpp"
+#include "experiments/report.hpp"
 #include "quantum/gates.hpp"
 #include "quantum/operators.hpp"
 
@@ -38,5 +39,6 @@ int main() {
         std::printf("    %2zu: %+.4f  %+.4f\n", k, result.final_amps[k][0],
                     result.final_amps[k][1]);
     }
+    experiments::print_metrics_summary();  // no-op unless QOC_METRICS is set
     return result.final_fid_err < 1e-6 ? 0 : 1;
 }

@@ -55,12 +55,18 @@ CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& opts) {
     nm.max_evaluations = opts.max_evaluations;
     nm.max_iterations = opts.max_iterations;
     nm.initial_step = 0.1;
+    nm.telemetry_label = "crab";
+
+    CrabResult result;
+    nm.iter_callback = [&](const optim::IterationRecord& rec) {
+        result.fid_err_history.push_back(rec.cost);
+        result.iteration_records.push_back(rec);
+    };
 
     const auto opt = optim::nelder_mead_minimize(
         obj, std::vector<double>(n_params, 0.0),
         optim::Bounds::uniform(n_params, -opts.coeff_bound, opts.coeff_bound), nm);
 
-    CrabResult result;
     result.initial_fid_err = evaluate_fid_err(problem, problem.initial_amps);
     result.final_amps = build_amps(opt.x);
     result.final_fid_err = opt.f;

@@ -30,6 +30,8 @@ struct CrabResult {
     double final_fid_err = 1.0;
     int evaluations = 0;
     optim::StopReason reason = optim::StopReason::kMaxIterations;
+    std::vector<double> fid_err_history;  ///< best simplex value per iteration
+    std::vector<optim::IterationRecord> iteration_records;
 };
 
 /// Runs CRAB on the same problem definition GRAPE uses.  The seed envelopes

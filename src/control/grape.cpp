@@ -1,12 +1,14 @@
 #include "control/grape.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
 
 #include "linalg/expm.hpp"
+#include "obs/obs.hpp"
 
 #ifdef QOC_HAVE_OPENMP
 #include <omp.h>
@@ -195,6 +197,7 @@ public:
     /// bit-identical for any thread count: every slot's computation is
     /// independent and writes to disjoint storage.
     double objective(const std::vector<double>& x, std::vector<double>& grad) const {
+        obs::Span span("grape.objective");
         ensure_scratch(max_threads());
         props_.resize(n_ts_);
         dprops_.resize(n_ts_ * n_ctrl_);
@@ -335,11 +338,15 @@ GrapeResult run_lbfgsb(const GrapeProblem& problem, bool open_system,
     };
 
     optim::LbfgsBOptions opts = opts_in;
+    auto user_iter_cb = opts.iter_callback;
     auto user_cb = opts.callback;
-    opts.callback = [&](int it, double f, double pg) {
-        result.fid_err_history.push_back(f);
-        if (user_cb) user_cb(it, f, pg);
+    opts.iter_callback = [&](const optim::IterationRecord& rec) {
+        result.fid_err_history.push_back(rec.cost);
+        result.iteration_records.push_back(rec);
+        if (user_iter_cb) user_iter_cb(rec);
+        if (user_cb) user_cb(rec.iteration, rec.cost, rec.grad_norm);
     };
+    opts.callback = nullptr;  // legacy shim folded into iter_callback above
 
     optim::Bounds bounds =
         optim::Bounds::uniform(eval.n_params(), problem.amp_lower, problem.amp_upper);
@@ -390,6 +397,7 @@ GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_
     std::vector<double> grad;
     double lr = learning_rate;
     double prev_err = 0.0;
+    const auto t_start = std::chrono::steady_clock::now();
     for (int it = 0; it < iterations; ++it) {
         const double err = eval.objective(x, grad);
         if (it == 0) {
@@ -400,6 +408,20 @@ GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_
             prev_err = err;
         }
         result.fid_err_history.push_back(err);
+        {
+            optim::IterationRecord rec;
+            rec.iteration = it;
+            rec.cost = err;
+            for (double gv : grad) rec.grad_norm = std::max(rec.grad_norm, std::abs(gv));
+            rec.step = lr;
+            rec.n_fun_evals = it + 1;
+            rec.wall_time_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t_start)
+                                  .count();
+            result.iteration_records.push_back(rec);
+            obs::emit_optimizer_iteration("grape_gd", rec.iteration, rec.cost, rec.grad_norm,
+                                          rec.step, rec.n_fun_evals, rec.wall_time_s);
+        }
         // Simple backtracking: a diverging fixed-rate step would overstate
         // how slow first-order GRAPE is; halve the rate when the error rose.
         if (err > prev_err && lr > 1e-6) lr *= 0.5;
@@ -467,8 +489,9 @@ RobustGrapeResult grape_robust(const GrapeProblem& problem,
     };
 
     optim::LbfgsBOptions opts = opts_in;
-    opts.callback = [&](int, double f, double) {
-        result.combined.fid_err_history.push_back(f);
+    opts.iter_callback = [&](const optim::IterationRecord& rec) {
+        result.combined.fid_err_history.push_back(rec.cost);
+        result.combined.iteration_records.push_back(rec);
     };
     const optim::Bounds bounds = optim::Bounds::uniform(
         evals[0]->n_params(), problem.amp_lower, problem.amp_upper);

@@ -82,6 +82,9 @@ struct GrapeResult {
     int evaluations = 0;
     optim::StopReason reason = optim::StopReason::kMaxIterations;
     std::vector<double> fid_err_history;  ///< per accepted iteration
+    /// Full per-iteration optimizer telemetry (cost, grad norm, step,
+    /// cumulative evaluations, wall time); parallels fid_err_history.
+    std::vector<optim::IterationRecord> iteration_records;
 };
 
 /// Closed-system GRAPE with L-BFGS-B (the paper's method).

@@ -1,10 +1,12 @@
 #include "control/krotov.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "linalg/expm.hpp"
+#include "obs/obs.hpp"
 
 namespace qoc::control {
 
@@ -85,6 +87,7 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
     double err = result.initial_fid_err;
     result.fid_err_history.push_back(err);
 
+    const auto t_start = std::chrono::steady_clock::now();
     for (int iter = 0; iter < opts.max_iterations; ++iter) {
         // Forward propagators with the current (old) controls.
         std::vector<Mat> props(n_ts);
@@ -132,6 +135,21 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
         err = new_err;
         ++result.iterations;
         ++result.evaluations;
+        {
+            // Krotov is monotone and derivative-free at this level: report
+            // the error decrease as the step and no gradient norm.
+            optim::IterationRecord rec;
+            rec.iteration = iter;
+            rec.cost = new_err;
+            rec.step = delta;
+            rec.n_fun_evals = result.evaluations;
+            rec.wall_time_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t_start)
+                                  .count();
+            result.iteration_records.push_back(rec);
+            obs::emit_optimizer_iteration("krotov", rec.iteration, rec.cost, rec.grad_norm,
+                                          rec.step, rec.n_fun_evals, rec.wall_time_s);
+        }
         if (err <= opts.target_fid_err) {
             result.reason = optim::StopReason::kTargetReached;
             break;

@@ -138,6 +138,7 @@ PulseOptimResult pulse_optim(const PulseOptimSpec& spec) {
             result.evaluations = g.evaluations;
             result.reason = g.reason;
             result.fid_err_history = g.fid_err_history;
+            result.iteration_records = g.iteration_records;
             break;
         }
         case OptimMethod::kGradientDescent: {
@@ -150,6 +151,7 @@ PulseOptimResult pulse_optim(const PulseOptimSpec& spec) {
             result.evaluations = g.evaluations;
             result.reason = g.reason;
             result.fid_err_history = g.fid_err_history;
+            result.iteration_records = g.iteration_records;
             break;
         }
         case OptimMethod::kCrab: {
@@ -164,6 +166,8 @@ PulseOptimResult pulse_optim(const PulseOptimSpec& spec) {
             result.final_evolution = evaluate_evolution(prob, c.final_amps);
             result.evaluations = c.evaluations;
             result.reason = c.reason;
+            result.fid_err_history = c.fid_err_history;
+            result.iteration_records = c.iteration_records;
             break;
         }
     }

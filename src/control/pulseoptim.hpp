@@ -84,6 +84,8 @@ struct PulseOptimResult {
     int evaluations = 0;
     optim::StopReason reason = optim::StopReason::kMaxIterations;
     std::vector<double> fid_err_history;
+    /// Per-iteration optimizer telemetry (see optim::IterationRecord).
+    std::vector<optim::IterationRecord> iteration_records;
     double dt = 0.0;            ///< slot duration = evo_time / n_timeslots
     bool open_system = false;
 };

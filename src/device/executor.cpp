@@ -9,6 +9,7 @@
 
 #include "linalg/expm.hpp"
 #include "linalg/kron.hpp"
+#include "obs/obs.hpp"
 #include "quantum/operators.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
@@ -120,8 +121,12 @@ const Mat& PulseExecutor::sample_propagator_1q(std::complex<double> sample, std:
     {
         std::lock_guard<std::mutex> lock(prop_cache_mutex_);
         const auto it = prop_cache_.find(key);
-        if (it != prop_cache_.end()) return it->second;
+        if (it != prop_cache_.end()) {
+            obs::count(obs::Cnt::kPropCacheHits);
+            return it->second;
+        }
     }
+    obs::count(obs::Cnt::kPropCacheMisses);
     // Liouvillian: non-Hermitian, pin Pade.  Computed outside the lock; two
     // threads racing on the same key produce bitwise-identical matrices, so
     // whichever insert wins is indistinguishable.
@@ -129,7 +134,9 @@ const Mat& PulseExecutor::sample_propagator_1q(std::complex<double> sample, std:
                       linalg::ExpmMethod::kPade);
     std::lock_guard<std::mutex> lock(prop_cache_mutex_);
     if (prop_cache_.size() >= kPropCacheMax) return scratch;
-    return prop_cache_.try_emplace(key, scratch).first->second;
+    const Mat& inserted = prop_cache_.try_emplace(key, scratch).first->second;
+    obs::set_gauge("executor.prop_cache.entries", static_cast<double>(prop_cache_.size()));
+    return inserted;
 }
 
 Mat PulseExecutor::waveform_superop_1q(const std::vector<std::complex<double>>& samples,
@@ -165,6 +172,7 @@ double net_frame_phase(const pulse::Schedule& sched, const pulse::Channel& ch) {
 }  // namespace
 
 Mat PulseExecutor::schedule_superop_1q(const pulse::Schedule& sched, std::size_t qubit) const {
+    obs::Span span("executor.schedule_superop_1q");
     const std::size_t n_dt = sched.total_duration();
     const auto samples = sched.channel_samples(pulse::drive_channel(qubit), n_dt);
     Mat total = waveform_superop_1q(samples, qubit);
@@ -238,13 +246,19 @@ const Mat& PulseExecutor::sample_propagator_2q(std::complex<double> d0, std::com
     {
         std::lock_guard<std::mutex> lock(prop_cache_mutex_);
         const auto it = prop_cache_.find(key);
-        if (it != prop_cache_.end()) return it->second;
+        if (it != prop_cache_.end()) {
+            obs::count(obs::Cnt::kPropCacheHits);
+            return it->second;
+        }
     }
+    obs::count(obs::Cnt::kPropCacheMisses);
     linalg::expm_into(config_.dt * lindblad_generator_2q(d0, d1, u0), scratch, ws,
                       linalg::ExpmMethod::kPade);
     std::lock_guard<std::mutex> lock(prop_cache_mutex_);
     if (prop_cache_.size() >= kPropCacheMax) return scratch;
-    return prop_cache_.try_emplace(key, scratch).first->second;
+    const Mat& inserted = prop_cache_.try_emplace(key, scratch).first->second;
+    obs::set_gauge("executor.prop_cache.entries", static_cast<double>(prop_cache_.size()));
+    return inserted;
 }
 
 Mat PulseExecutor::layer_superop_2q(const std::vector<std::complex<double>>& d0,
@@ -272,6 +286,7 @@ Mat PulseExecutor::layer_superop_2q(const std::vector<std::complex<double>>& d0,
 }
 
 Mat PulseExecutor::schedule_superop_2q(const pulse::Schedule& sched) const {
+    obs::Span span("executor.schedule_superop_2q");
     const std::size_t n_dt = sched.total_duration();
     Mat total = layer_superop_2q(sched.channel_samples(pulse::drive_channel(0), n_dt),
                                  sched.channel_samples(pulse::drive_channel(1), n_dt),

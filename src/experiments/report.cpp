@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "obs/obs.hpp"
+
 namespace qoc::experiments {
 
 std::string format_error_rate(double value, double error) {
@@ -109,6 +111,40 @@ void print_waveform(const std::string& label,
     std::cout << "   " << label << " (I then Q):\n";
     render_series(i_part, width);
     render_series(q_part, width);
+}
+
+void print_metrics_summary() {
+    if (!obs::metrics_enabled()) return;
+    using obs::Cnt;
+    const auto v = [](Cnt c) { return obs::counter_value(c); };
+    const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(total);
+    };
+
+    std::cout << "\n== obs metrics summary ==\n";
+    const std::uint64_t pc_h = v(Cnt::kPropCacheHits), pc_m = v(Cnt::kPropCacheMisses);
+    std::printf("   prop cache     : %llu hits / %llu misses  (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(pc_h),
+                static_cast<unsigned long long>(pc_m), rate(pc_h, pc_m));
+    const std::uint64_t cm_h = v(Cnt::kCliffMemoHits), cm_m = v(Cnt::kCliffMemoMisses);
+    std::printf("   clifford memo  : %llu hits / %llu misses  (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(cm_h),
+                static_cast<unsigned long long>(cm_m), rate(cm_h, cm_m));
+    std::printf("   superop applies: %llu\n",
+                static_cast<unsigned long long>(v(Cnt::kSuperopApplies)));
+    std::printf("   gemm / gemv / LU: %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(v(Cnt::kGemmCalls)),
+                static_cast<unsigned long long>(v(Cnt::kGemvCalls)),
+                static_cast<unsigned long long>(v(Cnt::kLuFactorizations)));
+    std::printf("   expm pade order: 3:%llu 5:%llu 7:%llu 9:%llu 13:%llu spectral:%llu\n",
+                static_cast<unsigned long long>(v(Cnt::kExpmPade3)),
+                static_cast<unsigned long long>(v(Cnt::kExpmPade5)),
+                static_cast<unsigned long long>(v(Cnt::kExpmPade7)),
+                static_cast<unsigned long long>(v(Cnt::kExpmPade9)),
+                static_cast<unsigned long long>(v(Cnt::kExpmPade13)),
+                static_cast<unsigned long long>(v(Cnt::kExpmSpectral)));
 }
 
 }  // namespace qoc::experiments

@@ -9,6 +9,7 @@
 
 #include "linalg/eig_hermitian.hpp"
 #include "linalg/lu.hpp"
+#include "obs/obs.hpp"
 
 namespace qoc::linalg {
 
@@ -134,6 +135,13 @@ void pade_frechet_multi(const Mat& a, const Mat* dirs, std::size_t n_dirs, Mat& 
     const std::size_t n = a.rows();
     int s = 0;
     const int m = choose_pade_order(a.norm_1(), s);
+    switch (m) {
+        case 3: obs::count(obs::Cnt::kExpmPade3); break;
+        case 5: obs::count(obs::Cnt::kExpmPade5); break;
+        case 7: obs::count(obs::Cnt::kExpmPade7); break;
+        case 9: obs::count(obs::Cnt::kExpmPade9); break;
+        default: obs::count(obs::Cnt::kExpmPade13); break;
+    }
     const double sf = std::ldexp(1.0, -s);
     const double* b = pade_table(m);
 
@@ -276,6 +284,7 @@ void pade_frechet_multi(const Mat& a, const Mat* dirs, std::size_t n_dirs, Mat& 
 /// Daleckii-Krein spectral path for anti-Hermitian A = -iS (see expm.hpp).
 void spectral_frechet_multi(const Mat& a, const Mat* dirs, std::size_t n_dirs, Mat& exp_out,
                             Mat* frechet_out, ExpmWorkspace& ws) {
+    obs::count(obs::Cnt::kExpmSpectral);
     const std::size_t n = a.rows();
     ws.t1 = a;
     ws.t1 *= kI;  // S = iA, Hermitian

@@ -4,12 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace qoc::linalg {
 
 Lu::Lu(const Mat& a) { factor(a); }
 
 void Lu::factor(const Mat& a) {
     if (!a.is_square()) throw std::invalid_argument("Lu: non-square matrix");
+    obs::count(obs::Cnt::kLuFactorizations);
     lu_ = a;  // vector copy-assign: reuses capacity on same-size refactor
     singular_ = false;
     pivot_sign_ = 1;

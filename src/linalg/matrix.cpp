@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace qoc::linalg {
 
 Mat::Mat(std::initializer_list<std::initializer_list<cplx>> init) {
@@ -253,6 +255,7 @@ namespace {
 constexpr std::size_t kGemmBlock = 64;
 
 void gemm_accumulate(const Mat& a, const Mat& b, Mat& out) {
+    obs::count(obs::Cnt::kGemmCalls);
     const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
     for (std::size_t pp = 0; pp < k; pp += kGemmBlock) {
         const std::size_t pend = std::min(pp + kGemmBlock, k);
@@ -290,6 +293,7 @@ void gemv_into(const Mat& a, const Mat& x, Mat& out) {
         throw std::invalid_argument("gemv_into: shape mismatch");
     }
     assert(&out != &a && &out != &x);
+    obs::count(obs::Cnt::kGemvCalls);
     const std::size_t n = a.rows(), k = a.cols();
     out.resize(n, 1);
     const cplx* xv = x.data().data();
@@ -304,6 +308,7 @@ void gemv_into(const Mat& a, const Mat& x, Mat& out) {
 void adjoint_times_into(const Mat& a, const Mat& b, Mat& out) {
     if (a.rows() != b.rows()) throw std::invalid_argument("adjoint_times_into: shape mismatch");
     assert(&out != &a && &out != &b);
+    obs::count(obs::Cnt::kGemmCalls);
     const std::size_t n = a.cols(), k = a.rows(), m = b.cols();
     out.resize(n, m);
     for (std::size_t p = 0; p < k; ++p) {

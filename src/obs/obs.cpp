@@ -1,0 +1,347 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace qoc::obs {
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 16384;
+constexpr std::size_t kNumCounters = static_cast<std::size_t>(Cnt::kCount);
+
+/// Per-thread storage: one padded counter row plus one preallocated span
+/// ring.  Owned by the registry, written only by the owning thread; counter
+/// cells are relaxed atomics so concurrent reads (counter_value, flush) are
+/// race-free without ever taking a lock on the write side.
+struct alignas(64) ThreadSlot {
+    std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+    std::vector<TraceEvent> ring;
+    std::atomic<std::uint64_t> ring_count{0};  ///< total spans ever recorded
+    std::uint32_t tid = 0;
+
+    ThreadSlot() { ring.resize(kRingCapacity); }
+};
+
+struct Registry {
+    std::mutex mu;  ///< guards slot registration and the cold maps below
+    std::vector<std::unique_ptr<ThreadSlot>> slots;
+    std::map<std::string, double> gauges;
+    std::map<std::string, std::map<std::int64_t, std::uint64_t>> hists;
+    std::string trace_path;
+
+    std::mutex io_mu;  ///< guards the JSONL stream
+    std::FILE* metrics_file = nullptr;
+
+    std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+/// Leaked singleton: outlives atexit flushing and every thread's last span.
+Registry& reg() {
+    static Registry* r = new Registry;
+    return *r;
+}
+
+thread_local ThreadSlot* t_slot = nullptr;
+
+ThreadSlot& slot() {
+    if (t_slot == nullptr) {
+        Registry& r = reg();
+        std::lock_guard<std::mutex> lock(r.mu);
+        auto s = std::make_unique<ThreadSlot>();
+        s->tid = static_cast<std::uint32_t>(r.slots.size());
+        t_slot = s.get();
+        r.slots.push_back(std::move(s));
+    }
+    return *t_slot;
+}
+
+/// %.17g round-trips every finite double exactly.
+void print_double(std::FILE* f, double v) { std::fprintf(f, "%.17g", v); }
+
+constexpr std::array<const char*, kNumCounters> kCounterNames = {
+    "linalg.gemm.calls",
+    "linalg.gemv.calls",
+    "linalg.lu.factorizations",
+    "executor.prop_cache.hits",
+    "executor.prop_cache.misses",
+    "rb.clifford_memo.hits",
+    "rb.clifford_memo.misses",
+    "quantum.superop.applies",
+    "linalg.expm.pade3",
+    "linalg.expm.pade5",
+    "linalg.expm.pade7",
+    "linalg.expm.pade9",
+    "linalg.expm.pade13",
+    "linalg.expm.spectral",
+};
+
+/// Writes the final metrics object (counters + Pade-order histogram +
+/// gauges + named histograms) as one JSONL line.  Caller holds io_mu.
+void write_metrics_line(std::FILE* f) {
+    std::fprintf(f, "{\"type\":\"metrics\",\"counters\":{");
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+        std::fprintf(f, "%s\"%s\":%llu", c == 0 ? "" : ",", kCounterNames[c],
+                     static_cast<unsigned long long>(counter_value(static_cast<Cnt>(c))));
+    }
+    std::fprintf(f, "},\"histograms\":{\"linalg.expm.pade_order\":{");
+    const std::pair<const char*, Cnt> pade[] = {
+        {"3", Cnt::kExpmPade3},   {"5", Cnt::kExpmPade5}, {"7", Cnt::kExpmPade7},
+        {"9", Cnt::kExpmPade9},   {"13", Cnt::kExpmPade13}};
+    for (std::size_t i = 0; i < 5; ++i) {
+        std::fprintf(f, "%s\"%s\":%llu", i == 0 ? "" : ",", pade[i].first,
+                     static_cast<unsigned long long>(counter_value(pade[i].second)));
+    }
+    std::fprintf(f, "}");
+    Registry& r = reg();
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (const auto& [name, buckets] : r.hists) {
+            std::fprintf(f, ",\"%s\":{", name.c_str());
+            bool first = true;
+            for (const auto& [value, n] : buckets) {
+                std::fprintf(f, "%s\"%lld\":%llu", first ? "" : ",",
+                             static_cast<long long>(value),
+                             static_cast<unsigned long long>(n));
+                first = false;
+            }
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "},\"gauges\":{");
+        bool first = true;
+        for (const auto& [name, value] : r.gauges) {
+            std::fprintf(f, "%s\"%s\":", first ? "" : ",", name.c_str());
+            print_double(f, value);
+            first = false;
+        }
+    }
+    std::fprintf(f, "},\"dropped_trace_events\":%llu}\n",
+                 static_cast<unsigned long long>(dropped_trace_events()));
+}
+
+void write_trace_file(const std::string& path) {
+    const std::vector<TraceEvent> events = snapshot_trace_events();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"traceEvents\":[");
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        // chrome://tracing wants microseconds.
+        std::fprintf(f,
+                     "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                     "\"pid\":1,\"tid\":%u}",
+                     i == 0 ? "" : ",", e.name, static_cast<double>(e.t0_ns) / 1e3,
+                     static_cast<double>(e.dur_ns) / 1e3, e.tid);
+    }
+    std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+    std::fclose(f);
+}
+
+/// Startup activation from the environment; flush at exit when either
+/// variable is set.  `g_obs_state` is constant-initialized and `reg()` is
+/// function-local, so there is no initialization-order hazard here.
+struct EnvInit {
+    EnvInit() {
+        const char* trace = std::getenv("QOC_TRACE");
+        const char* metrics = std::getenv("QOC_METRICS");
+        if (trace != nullptr && *trace != '\0') enable_tracing(trace);
+        if (metrics != nullptr && *metrics != '\0') enable_metrics(metrics);
+        if ((trace != nullptr && *trace != '\0') ||
+            (metrics != nullptr && *metrics != '\0')) {
+            std::atexit([] { flush(); });
+        }
+    }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+namespace detail {
+
+void count_slow(Cnt c, std::uint64_t n) noexcept {
+    std::atomic<std::uint64_t>& cell = slot().counters[static_cast<std::size_t>(c)];
+    // Owner-thread-only write: load+store beats an interlocked fetch_add.
+    cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - reg().epoch)
+                                          .count());
+}
+
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) noexcept {
+    if (!tracing_enabled()) return;  // disabled (or reset) between ctor and dtor
+    ThreadSlot& s = slot();
+    const std::uint64_t n = s.ring_count.load(std::memory_order_relaxed);
+    s.ring[n % kRingCapacity] = TraceEvent{name, t0_ns, t1_ns - t0_ns, s.tid};
+    s.ring_count.store(n + 1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::uint64_t counter_value(Cnt c) noexcept {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::uint64_t total = 0;
+    for (const auto& s : r.slots) {
+        total += s->counters[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+const char* counter_name(Cnt c) noexcept {
+    return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+void set_gauge(const char* name, double value) {
+    if (!metrics_enabled()) return;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.gauges[name] = value;
+}
+
+void hist_observe(const char* name, std::int64_t value) {
+    if (!metrics_enabled()) return;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    ++r.hists[name][value];
+}
+
+void emit_optimizer_iteration(const char* optimizer, int iteration, double cost,
+                              double grad_norm, double step, int n_fun_evals,
+                              double wall_time_s) {
+    if (!telemetry_enabled()) return;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.io_mu);
+    std::FILE* f = r.metrics_file;
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"type\":\"optimizer_iteration\",\"optimizer\":\"%s\",\"iteration\":%d,"
+                    "\"cost\":",
+                 optimizer, iteration);
+    print_double(f, cost);
+    std::fprintf(f, ",\"grad_norm\":");
+    print_double(f, grad_norm);
+    std::fprintf(f, ",\"step\":");
+    print_double(f, step);
+    std::fprintf(f, ",\"n_fun_evals\":%d,\"wall_time_s\":", n_fun_evals);
+    print_double(f, wall_time_s);
+    std::fprintf(f, "}\n");
+}
+
+void emit_rb_seed(const char* experiment, std::size_t length, std::int64_t seed,
+                  double survival) {
+    if (!telemetry_enabled()) return;
+    const std::uint32_t tid = slot().tid;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.io_mu);
+    std::FILE* f = r.metrics_file;
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"type\":\"rb_seed\",\"experiment\":\"%s\",\"length\":%zu,"
+                    "\"seed\":%lld,\"survival\":",
+                 experiment, length, static_cast<long long>(seed));
+    print_double(f, survival);
+    std::fprintf(f, ",\"thread\":%u}\n", tid);
+}
+
+void enable_tracing(const std::string& path) {
+    Registry& r = reg();
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.trace_path = path;
+    }
+    g_obs_state.fetch_or(kTraceBit, std::memory_order_relaxed);
+}
+
+void enable_metrics(const std::string& path) {
+    Registry& r = reg();
+    std::uint32_t bits = kMetricsBit;
+    {
+        std::lock_guard<std::mutex> lock(r.io_mu);
+        if (r.metrics_file != nullptr) {
+            std::fclose(r.metrics_file);
+            r.metrics_file = nullptr;
+        }
+        if (!path.empty()) {
+            r.metrics_file = std::fopen(path.c_str(), "w");
+            if (r.metrics_file != nullptr) bits |= kTelemetryBit;
+        }
+    }
+    g_obs_state.fetch_or(bits, std::memory_order_relaxed);
+}
+
+void flush() {
+    Registry& r = reg();
+    std::string trace_path;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        trace_path = r.trace_path;
+    }
+    if (tracing_enabled() && !trace_path.empty()) write_trace_file(trace_path);
+    if (metrics_enabled()) {
+        std::lock_guard<std::mutex> lock(r.io_mu);
+        if (r.metrics_file != nullptr) {
+            write_metrics_line(r.metrics_file);
+            std::fflush(r.metrics_file);
+        }
+    }
+}
+
+void reset_for_testing() {
+    g_obs_state.store(0, std::memory_order_relaxed);
+    Registry& r = reg();
+    {
+        std::lock_guard<std::mutex> lock(r.io_mu);
+        if (r.metrics_file != nullptr) {
+            std::fclose(r.metrics_file);
+            r.metrics_file = nullptr;
+        }
+    }
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.trace_path.clear();
+    r.gauges.clear();
+    r.hists.clear();
+    for (auto& s : r.slots) {
+        for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+        s->ring_count.store(0, std::memory_order_relaxed);
+    }
+    r.epoch = std::chrono::steady_clock::now();
+}
+
+std::vector<TraceEvent> snapshot_trace_events() {
+    Registry& r = reg();
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (const auto& s : r.slots) {
+            const std::uint64_t n = s->ring_count.load(std::memory_order_relaxed);
+            const std::uint64_t kept = std::min<std::uint64_t>(n, kRingCapacity);
+            for (std::uint64_t k = n - kept; k < n; ++k) {
+                out.push_back(s->ring[k % kRingCapacity]);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+        return a.t0_ns != b.t0_ns ? a.t0_ns < b.t0_ns : a.tid < b.tid;
+    });
+    return out;
+}
+
+std::uint64_t dropped_trace_events() noexcept {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::uint64_t dropped = 0;
+    for (const auto& s : r.slots) {
+        const std::uint64_t n = s->ring_count.load(std::memory_order_relaxed);
+        if (n > kRingCapacity) dropped += n - kRingCapacity;
+    }
+    return dropped;
+}
+
+}  // namespace qoc::obs

@@ -1,0 +1,181 @@
+/// \file obs.hpp
+/// \brief `qoc::obs` -- zero-overhead tracing, metrics and telemetry.
+///
+/// Three facilities behind ONE relaxed-atomic state word:
+///
+///  * RAII **spans** (`Span`) recording chrome://tracing "X" complete events
+///    into per-thread preallocated ring buffers -- no locks and no heap
+///    allocation on the hot path; buffers are merged and time-sorted at
+///    flush and written as a `{"traceEvents": [...]}` JSON file.
+///  * A **metrics registry**: fixed-enum counters (`count`) on per-thread
+///    padded cells (summed at read), plus named gauges and integer-valued
+///    histograms for cold paths (mutex inside).
+///  * Structured **telemetry records** streamed as JSONL (one object per
+///    line): per-iteration optimizer records and per-seed RB records, with
+///    a final `{"type":"metrics", ...}` dump appended at flush.
+///
+/// Activation: `QOC_TRACE=<file>` / `QOC_METRICS=<file>` environment
+/// variables (read once at startup; flush registered via `atexit`), or the
+/// programmatic `enable_tracing` / `enable_metrics` calls below.
+///
+/// Disabled-path contract: every hot-path entry point (`count`, `Span`,
+/// `telemetry_enabled`) is a single relaxed atomic load plus one branch.
+/// Determinism contract: instrumentation only *reads* values the numerics
+/// already computed; it never reorders reductions, never synchronizes
+/// compute threads on the hot path, and therefore preserves the bitwise
+/// 1-vs-N-thread reproducibility guarantees of the GRAPE and RB engines.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qoc::obs {
+
+// --- enable/disable gate -------------------------------------------------
+
+inline constexpr std::uint32_t kTraceBit = 1u;      ///< spans -> trace file
+inline constexpr std::uint32_t kMetricsBit = 2u;    ///< counters/gauges/hists
+inline constexpr std::uint32_t kTelemetryBit = 4u;  ///< JSONL record stream
+
+/// The single state word every hot-path check loads (relaxed).  Constant-
+/// initialized: safe to query from any static initializer.
+inline std::atomic<std::uint32_t> g_obs_state{0};
+
+inline bool tracing_enabled() noexcept {
+    return (g_obs_state.load(std::memory_order_relaxed) & kTraceBit) != 0;
+}
+inline bool metrics_enabled() noexcept {
+    return (g_obs_state.load(std::memory_order_relaxed) & kMetricsBit) != 0;
+}
+inline bool telemetry_enabled() noexcept {
+    return (g_obs_state.load(std::memory_order_relaxed) & kTelemetryBit) != 0;
+}
+
+// --- counters ------------------------------------------------------------
+
+/// Fixed counter set.  Enum-indexed per-thread cells keep the enabled path
+/// lock-free; totals are summed over threads at read time.
+enum class Cnt : unsigned {
+    kGemmCalls,         ///< dense complex matrix-matrix products
+    kGemvCalls,         ///< dense complex matrix-vector products
+    kLuFactorizations,  ///< LU factorizations (expm denominators, solves)
+    kPropCacheHits,     ///< executor amplitude->propagator cache hits
+    kPropCacheMisses,   ///< executor amplitude->propagator cache misses
+    kCliffMemoHits,     ///< 2Q Clifford superop memo hits
+    kCliffMemoMisses,   ///< 2Q Clifford superop memo misses (compositions)
+    kSuperopApplies,    ///< vec(rho) matvec propagation steps
+    kExpmPade3,         ///< expm/Frechet calls at Pade order 3
+    kExpmPade5,
+    kExpmPade7,
+    kExpmPade9,
+    kExpmPade13,
+    kExpmSpectral,      ///< Daleckii-Krein spectral-path calls
+    kCount
+};
+
+namespace detail {
+void count_slow(Cnt c, std::uint64_t n) noexcept;
+}  // namespace detail
+
+/// Bumps a counter.  Disabled: one relaxed load + branch, nothing else.
+inline void count(Cnt c, std::uint64_t n = 1) noexcept {
+    if ((g_obs_state.load(std::memory_order_relaxed) & kMetricsBit) == 0) return;
+    detail::count_slow(c, n);
+}
+
+/// Total over all threads (0 when metrics were never enabled).
+std::uint64_t counter_value(Cnt c) noexcept;
+
+/// Dotted metric name of a counter (e.g. "executor.prop_cache.hits").
+const char* counter_name(Cnt c) noexcept;
+
+/// Sets a named gauge (cold paths only: takes a mutex).
+void set_gauge(const char* name, double value);
+
+/// Adds one observation of an integer-valued named histogram (cold paths
+/// only: takes a mutex).  Stored exactly as value -> occurrence count.
+void hist_observe(const char* name, std::int64_t value);
+
+// --- spans ---------------------------------------------------------------
+
+/// One completed span, as merged out of the per-thread rings.
+struct TraceEvent {
+    const char* name;       ///< string literal passed to Span
+    std::uint64_t t0_ns;    ///< begin, ns since process trace epoch
+    std::uint64_t dur_ns;   ///< duration in ns
+    std::uint32_t tid;      ///< obs thread index (registration order)
+};
+
+namespace detail {
+std::uint64_t now_ns() noexcept;
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) noexcept;
+}  // namespace detail
+
+/// RAII span.  `name` must be a string literal (stored by pointer).  When
+/// tracing is disabled, construction is one relaxed load + branch and the
+/// destructor is a null-pointer test.
+class Span {
+public:
+    explicit Span(const char* name) noexcept {
+        if ((g_obs_state.load(std::memory_order_relaxed) & kTraceBit) != 0) {
+            name_ = name;
+            t0_ = detail::now_ns();
+        }
+    }
+    ~Span() {
+        if (name_ != nullptr) detail::record_span(name_, t0_, detail::now_ns());
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    const char* name_ = nullptr;
+    std::uint64_t t0_ = 0;
+};
+
+// --- telemetry records ---------------------------------------------------
+
+/// Streams one `{"type":"optimizer_iteration",...}` JSONL record.  No-op
+/// unless telemetry is enabled (QOC_METRICS set / enable_metrics(path)).
+void emit_optimizer_iteration(const char* optimizer, int iteration, double cost,
+                              double grad_norm, double step, int n_fun_evals,
+                              double wall_time_s);
+
+/// Streams one `{"type":"rb_seed",...}` JSONL record ("thread" is the obs
+/// thread index of the caller).  Safe to call from inside OpenMP loops: the
+/// file write is serialized by a mutex that the numerics never touch.
+void emit_rb_seed(const char* experiment, std::size_t length, std::int64_t seed,
+                  double survival);
+
+// --- control / inspection ------------------------------------------------
+
+/// Enables span collection.  `path == ""` keeps events in memory only
+/// (tests); otherwise `flush()` writes a chrome://tracing JSON file there.
+void enable_tracing(const std::string& path);
+
+/// Enables the metrics registry, and -- when `path` is non-empty -- also the
+/// JSONL telemetry stream to that file (truncated on enable).
+void enable_metrics(const std::string& path);
+
+/// Writes pending output: the chrome trace file (when a trace path is set)
+/// and the final `{"type":"metrics",...}` JSONL line.  Call from one thread,
+/// outside parallel regions.  State stays enabled; callable repeatedly.
+void flush();
+
+/// Test helper: clears all state bits, zeroes every counter and ring,
+/// drops gauges/histograms and closes the telemetry file WITHOUT writing
+/// the final metrics line.  Per-thread slots stay registered.
+void reset_for_testing();
+
+/// Merged snapshot of all per-thread rings, sorted by (t0_ns, tid).  Call
+/// outside parallel regions.
+std::vector<TraceEvent> snapshot_trace_events();
+
+/// Spans lost to ring overwrite since enable/reset (summed over threads).
+std::uint64_t dropped_trace_events() noexcept;
+
+}  // namespace qoc::obs

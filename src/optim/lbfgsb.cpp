@@ -1,6 +1,7 @@
 #include "optim/lbfgsb.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -8,6 +9,8 @@
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace qoc::optim {
 
@@ -454,9 +457,26 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
 
     LmModel model;
 
+    const auto t_start = std::chrono::steady_clock::now();
+    double last_step = 0.0;  // accepted line-search alpha of the previous iteration
+
     for (res.iterations = 0; res.iterations < opts_.max_iterations; ++res.iterations) {
         res.grad_norm = projected_gradient_norm(res.x, g, bounds);
-        if (opts_.callback) opts_.callback(res.iterations, res.f, res.grad_norm);
+        if (opts_.iter_callback || opts_.callback || obs::telemetry_enabled()) {
+            IterationRecord rec;
+            rec.iteration = res.iterations;
+            rec.cost = res.f;
+            rec.grad_norm = res.grad_norm;
+            rec.step = last_step;
+            rec.n_fun_evals = res.evaluations;
+            rec.wall_time_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t_start)
+                                  .count();
+            if (opts_.iter_callback) opts_.iter_callback(rec);
+            if (opts_.callback) opts_.callback(rec.iteration, rec.cost, rec.grad_norm);
+            obs::emit_optimizer_iteration("lbfgsb", rec.iteration, rec.cost, rec.grad_norm,
+                                          rec.step, rec.n_fun_evals, rec.wall_time_s);
+        }
         if (res.grad_norm <= opts_.pg_tol) {
             res.reason = StopReason::kConverged;
             return res;
@@ -519,6 +539,7 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
         const double f_old = res.f;
         std::vector<double> x_old = res.x;
         std::vector<double> g_old = g;
+        const int evals_before = res.evaluations;
         const LineSearchResult ls = wolfe_search(objective, res.x, res.f, g, d, alpha_max,
                                                  res.evaluations, opts_.max_evaluations);
         if (!ls.ok) {
@@ -531,6 +552,10 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
             }
             res.reason = StopReason::kLineSearchFailed;
             return res;
+        }
+        last_step = ls.alpha;
+        if (obs::metrics_enabled()) {
+            obs::hist_observe("lbfgsb.line_search_evals", res.evaluations - evals_before);
         }
         bounds.clip(res.x);
 

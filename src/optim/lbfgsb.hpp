@@ -26,7 +26,12 @@ struct LbfgsBOptions {
     double pg_tol = 1e-9;       ///< max-norm of the projected gradient
     double f_tol = 2.2e-14;     ///< relative objective-decrease tolerance
     std::optional<double> target_f;  ///< stop early once f <= target_f
-    /// Optional per-iteration observer (iteration, f, projected-grad norm).
+    /// Optional typed per-iteration observer; also the data source for the
+    /// `qoc::obs` "lbfgsb" telemetry records.
+    IterationCallback iter_callback;
+    /// \deprecated Legacy (iteration, f, projected-grad norm) observer.
+    /// Kept so existing callers compile; invoked after `iter_callback` with
+    /// the same iterate.  Prefer `iter_callback`.
     std::function<void(int, double, double)> callback;
 };
 

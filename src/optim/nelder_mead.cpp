@@ -1,8 +1,11 @@
 #include "optim/nelder_mead.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+
+#include "obs/obs.hpp"
 
 namespace qoc::optim {
 
@@ -19,6 +22,7 @@ OptimResult nelder_mead_minimize(const ScalarObjective& objective, std::vector<d
     const double delta = 1.0 - 1.0 / nd;  // shrink
 
     OptimResult res;
+    const auto t_start = std::chrono::steady_clock::now();
     int evals = 0;
     auto feval = [&](std::vector<double>& x) {
         bounds.clip(x);
@@ -49,6 +53,21 @@ OptimResult nelder_mead_minimize(const ScalarObjective& objective, std::vector<d
             xspread = std::max(xspread, std::abs(simplex[worst][i] - simplex[best][i]));
         }
         const double fspread = std::abs(fvals[worst] - fvals[best]);
+        if (opts.iter_callback || obs::telemetry_enabled()) {
+            IterationRecord rec;
+            rec.iteration = res.iterations;
+            rec.cost = fvals[best];
+            rec.grad_norm = 0.0;
+            rec.step = xspread;
+            rec.n_fun_evals = evals;
+            rec.wall_time_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t_start)
+                                  .count();
+            if (opts.iter_callback) opts.iter_callback(rec);
+            obs::emit_optimizer_iteration(opts.telemetry_label, rec.iteration, rec.cost,
+                                          rec.grad_norm, rec.step, rec.n_fun_evals,
+                                          rec.wall_time_s);
+        }
         if (xspread < opts.x_tol && fspread < opts.f_tol) {
             res.reason = StopReason::kConverged;
             break;

@@ -17,6 +17,12 @@ struct NelderMeadOptions {
     double x_tol = 1e-8;   ///< simplex diameter tolerance
     double f_tol = 1e-10;  ///< spread of simplex values tolerance
     double initial_step = 0.1;  ///< initial simplex edge length
+    /// Optional typed per-iteration observer (cost = best vertex value,
+    /// grad_norm = 0, step = simplex x-spread).
+    IterationCallback iter_callback;
+    /// Optimizer tag on the `qoc::obs` telemetry records (CRAB relabels
+    /// its inner search "crab").  Must be a string literal.
+    const char* telemetry_label = "nelder_mead";
 };
 
 /// Minimizes `objective` with the adaptive Nelder-Mead simplex method.

@@ -60,6 +60,21 @@ enum class StopReason {
 /// Human-readable stop reason (for logs and reports).
 std::string to_string(StopReason reason);
 
+/// One optimizer iteration, as passed to iteration callbacks and emitted to
+/// the `qoc::obs` telemetry stream.  Shared by L-BFGS-B and Nelder-Mead
+/// (derivative-free methods report `grad_norm = 0`).
+struct IterationRecord {
+    int iteration = 0;
+    double cost = 0.0;        ///< objective value at this iterate
+    double grad_norm = 0.0;   ///< max-norm of the projected gradient
+    double step = 0.0;        ///< accepted line-search step length (0 at iter 0)
+    int n_fun_evals = 0;      ///< cumulative objective evaluations so far
+    double wall_time_s = 0.0; ///< elapsed wall time since the solver started
+};
+
+/// Typed per-iteration observer.
+using IterationCallback = std::function<void(const IterationRecord&)>;
+
 /// Outcome shared by the smooth optimizers.
 struct OptimResult {
     std::vector<double> x;      ///< final iterate

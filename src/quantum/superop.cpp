@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/kron.hpp"
+#include "obs/obs.hpp"
 #include "quantum/operators.hpp"
 
 namespace qoc::quantum {
@@ -54,6 +55,7 @@ void apply_superop_into(const Mat& superop, const Mat& vec_rho, Mat& out) {
     if (vec_rho.cols() != 1 || superop.cols() != vec_rho.rows()) {
         throw std::invalid_argument("apply_superop_into: dimension mismatch");
     }
+    obs::count(obs::Cnt::kSuperopApplies);
     linalg::gemv_into(superop, vec_rho, out);
 }
 

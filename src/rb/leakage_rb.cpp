@@ -10,6 +10,7 @@
 #endif
 
 #include "linalg/kron.hpp"
+#include "obs/obs.hpp"
 #include "optim/levmar.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
@@ -78,6 +79,8 @@ LeakageRbResult run_leakage_rb_1q(const PulseExecutor& exec, const GateSet1Q& ga
                 leak += w.v(lvl * (d + 1), 0).real();
             }
             leaks[static_cast<std::size_t>(s)] = leak;
+            // Telemetry reports the computational-subspace survival 1 - leak.
+            obs::emit_rb_seed("leakage_rb", m, s, 1.0 - leak);
         }
         double mean_leak = 0.0;
         for (double l : leaks) mean_leak += l;

@@ -12,6 +12,7 @@
 #endif
 
 #include "linalg/kron.hpp"
+#include "obs/obs.hpp"
 #include "optim/levmar.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
@@ -150,6 +151,7 @@ RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size
                                 7919 * (li * 1000 + static_cast<std::size_t>(s)));
             std::uniform_int_distribution<std::size_t> dist(0, Clifford1Q::kSize - 1);
 
+            obs::Span span("rb.seq_1q");
             SeqWorkspace& w = workspaces[thread_id()];
             w.v = vec_rho0;
             std::size_t net = group.identity_index();
@@ -173,6 +175,8 @@ RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size
             std::binomial_distribution<int> shots_dist(opts.shots, std::clamp(p0, 0.0, 1.0));
             survivals[static_cast<std::size_t>(s)] =
                 static_cast<double>(shots_dist(rng)) / static_cast<double>(opts.shots);
+            obs::emit_rb_seed(interleave_super ? "irb1q" : "rb1q", m, s,
+                              survivals[static_cast<std::size_t>(s)]);
         }
         RbPoint pt;
         pt.length = m;
@@ -253,7 +257,16 @@ Mat GateSet2Q::compose_superop(std::size_t i) const {
 }
 
 const Mat& GateSet2Q::clifford_superop(std::size_t i) const {
-    std::call_once(cliff_once_[i], [&] { cliff_cache_[i] = compose_superop(i); });
+    bool miss = false;
+    std::call_once(cliff_once_[i], [&] {
+        miss = true;
+        cliff_cache_[i] = compose_superop(i);
+    });
+    if (miss) {
+        obs::count(obs::Cnt::kCliffMemoMisses);
+    } else {
+        obs::count(obs::Cnt::kCliffMemoHits);
+    }
     return cliff_cache_[i];
 }
 
@@ -296,6 +309,7 @@ RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbO
             std::mt19937_64 rng(opts.rng_seed +
                                 6271 * (li * 1000 + static_cast<std::size_t>(s)));
 
+            obs::Span span("rb.seq_2q");
             SeqWorkspace& w = workspaces[thread_id()];
             w.v = vec_rho0;
             w.net = Mat::identity(4);
@@ -320,6 +334,8 @@ RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbO
 
             const device::Counts counts = exec.measure_2q_vec(w.v, opts.shots, rng());
             survivals[static_cast<std::size_t>(s)] = counts.probability("00");
+            obs::emit_rb_seed(interleave_super ? "irb2q" : "rb2q", m, s,
+                              survivals[static_cast<std::size_t>(s)]);
         }
         RbPoint pt;
         pt.length = m;

@@ -1,0 +1,235 @@
+/// Core `qoc::obs` behavior: disabled-path no-ops, span nesting and
+/// per-thread merge ordering, ring overflow accounting, counter totals under
+/// OpenMP, and the JSONL / chrome-trace file formats (golden round-trip).
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef QOC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace qoc::obs {
+namespace {
+
+/// Every test starts and ends from a clean registry so ordering between
+/// tests (and any earlier-registered OpenMP worker slots) cannot leak state.
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset_for_testing(); }
+    void TearDown() override { reset_for_testing(); }
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+}
+
+std::string read_all(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// Busy-waits until the trace clock ticks, so nested spans get distinct
+/// timestamps and the (t0, tid) sort order is deterministic.
+void tick() {
+    const std::uint64_t t = detail::now_ns();
+    while (detail::now_ns() == t) {
+    }
+}
+
+TEST_F(ObsTest, DisabledPathRecordsNothing) {
+    count(Cnt::kGemmCalls);
+    count(Cnt::kGemvCalls, 42);
+    { Span s("ignored"); }
+    set_gauge("ignored.gauge", 1.0);
+    hist_observe("ignored.hist", 3);
+
+    EXPECT_EQ(counter_value(Cnt::kGemmCalls), 0u);
+    EXPECT_EQ(counter_value(Cnt::kGemvCalls), 0u);
+    EXPECT_TRUE(snapshot_trace_events().empty());
+    EXPECT_EQ(dropped_trace_events(), 0u);
+}
+
+TEST_F(ObsTest, SpanNestingPreservesContainment) {
+    enable_tracing("");
+    {
+        Span outer("outer");
+        tick();
+        {
+            Span inner("inner");
+            tick();
+        }
+        tick();
+    }
+    const auto events = snapshot_trace_events();
+    ASSERT_EQ(events.size(), 2u);
+    // The inner span completes (and is recorded) first; the snapshot's
+    // (t0, tid) sort restores begin order: outer, then inner inside it.
+    EXPECT_STREQ(events[0].name, "outer");
+    EXPECT_STREQ(events[1].name, "inner");
+    EXPECT_LT(events[0].t0_ns, events[1].t0_ns);
+    EXPECT_GE(events[0].t0_ns + events[0].dur_ns, events[1].t0_ns + events[1].dur_ns);
+}
+
+TEST_F(ObsTest, PerThreadRingsMergeTimeSorted) {
+    enable_tracing("");
+    constexpr int kSpansPerThread = 50;
+    int team = 1;
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel num_threads(4)
+    {
+#pragma omp single
+        team = omp_get_num_threads();
+        for (int i = 0; i < kSpansPerThread; ++i) {
+            Span s("work");
+            tick();
+        }
+    }
+#else
+    for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s("work");
+        tick();
+    }
+#endif
+    const auto events = snapshot_trace_events();
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(team * kSpansPerThread));
+    std::set<std::uint32_t> tids;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        tids.insert(events[i].tid);
+        if (i > 0) {
+            const bool ordered =
+                events[i - 1].t0_ns < events[i].t0_ns ||
+                (events[i - 1].t0_ns == events[i].t0_ns &&
+                 events[i - 1].tid <= events[i].tid);
+            EXPECT_TRUE(ordered) << "events out of (t0, tid) order at " << i;
+        }
+    }
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(team));
+    EXPECT_EQ(dropped_trace_events(), 0u);
+}
+
+TEST_F(ObsTest, RingOverflowKeepsNewestAndCountsDropped) {
+    enable_tracing("");
+    constexpr std::uint64_t kCapacity = 16384;  // must match obs.cpp
+    constexpr std::uint64_t kExtra = 100;
+    for (std::uint64_t i = 0; i < kCapacity + kExtra; ++i) {
+        Span s("burst");
+    }
+    EXPECT_EQ(dropped_trace_events(), kExtra);
+    EXPECT_EQ(snapshot_trace_events().size(), kCapacity);
+}
+
+TEST_F(ObsTest, CounterTotalsSumAcrossOpenMpThreads) {
+    enable_metrics("");  // memory-only: metrics without the JSONL stream
+    EXPECT_TRUE(metrics_enabled());
+    EXPECT_FALSE(telemetry_enabled());
+    constexpr int kPerThread = 10000;
+    int team = 1;
+#ifdef QOC_HAVE_OPENMP
+#pragma omp parallel num_threads(4)
+    {
+#pragma omp single
+        team = omp_get_num_threads();
+        for (int i = 0; i < kPerThread; ++i) count(Cnt::kGemmCalls);
+        count(Cnt::kGemvCalls, 7);
+    }
+#else
+    for (int i = 0; i < kPerThread; ++i) count(Cnt::kGemmCalls);
+    count(Cnt::kGemvCalls, 7);
+#endif
+    EXPECT_EQ(counter_value(Cnt::kGemmCalls),
+              static_cast<std::uint64_t>(team) * kPerThread);
+    EXPECT_EQ(counter_value(Cnt::kGemvCalls), static_cast<std::uint64_t>(team) * 7);
+    EXPECT_EQ(counter_value(Cnt::kLuFactorizations), 0u);
+}
+
+TEST_F(ObsTest, JsonlGoldenRoundTrip) {
+    const std::string path = ::testing::TempDir() + "qoc_obs_telemetry.jsonl";
+    enable_metrics(path);
+    ASSERT_TRUE(telemetry_enabled());
+
+    // Exactly-representable doubles make the %.17g output predictable.
+    emit_optimizer_iteration("lbfgsb", 3, 0.125, 0.25, 0.5, 7, 1.5);
+    emit_rb_seed("rb1q", 16, 2, 0.75);
+    count(Cnt::kGemmCalls, 5);
+    count(Cnt::kExpmPade5, 2);
+    hist_observe("test.hist", 3);
+    hist_observe("test.hist", 3);
+    hist_observe("test.hist", 5);
+    set_gauge("test.gauge", 2.5);
+    flush();
+
+    const auto lines = read_lines(path);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0],
+              "{\"type\":\"optimizer_iteration\",\"optimizer\":\"lbfgsb\","
+              "\"iteration\":3,\"cost\":0.125,\"grad_norm\":0.25,\"step\":0.5,"
+              "\"n_fun_evals\":7,\"wall_time_s\":1.5}");
+    // The obs thread index depends on process-wide registration order, so
+    // only the prefix is golden.
+    EXPECT_EQ(lines[1].rfind("{\"type\":\"rb_seed\",\"experiment\":\"rb1q\","
+                             "\"length\":16,\"seed\":2,\"survival\":0.75,\"thread\":",
+                             0),
+              0u)
+        << lines[1];
+    EXPECT_EQ(lines[1].back(), '}');
+
+    const std::string& metrics = lines[2];
+    EXPECT_EQ(metrics.rfind("{\"type\":\"metrics\",\"counters\":{", 0), 0u) << metrics;
+    EXPECT_NE(metrics.find("\"linalg.gemm.calls\":5"), std::string::npos);
+    EXPECT_NE(metrics.find("\"linalg.expm.pade5\":2"), std::string::npos);
+    EXPECT_NE(metrics.find(
+                  "\"linalg.expm.pade_order\":{\"3\":0,\"5\":2,\"7\":0,\"9\":0,\"13\":0}"),
+              std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("\"test.hist\":{\"3\":2,\"5\":1}"), std::string::npos);
+    EXPECT_NE(metrics.find("\"test.gauge\":2.5"), std::string::npos);
+    EXPECT_NE(metrics.find("\"dropped_trace_events\":0}"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceFileIsChromeTracingJson) {
+    const std::string path = ::testing::TempDir() + "qoc_obs_trace.json";
+    enable_tracing(path);
+    {
+        Span a("alpha");
+        tick();
+    }
+    {
+        Span b("beta");
+        tick();
+    }
+    flush();
+
+    const std::string body = read_all(path);
+    EXPECT_EQ(body.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(body.find("\"name\":\"alpha\",\"ph\":\"X\",\"ts\":"), std::string::npos);
+    EXPECT_NE(body.find("\"name\":\"beta\""), std::string::npos);
+    EXPECT_NE(body.find("\"pid\":1,\"tid\":"), std::string::npos);
+    EXPECT_NE(body.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, CounterNamesAreStable) {
+    EXPECT_STREQ(counter_name(Cnt::kGemmCalls), "linalg.gemm.calls");
+    EXPECT_STREQ(counter_name(Cnt::kPropCacheHits), "executor.prop_cache.hits");
+    EXPECT_STREQ(counter_name(Cnt::kCliffMemoMisses), "rb.clifford_memo.misses");
+    EXPECT_STREQ(counter_name(Cnt::kExpmSpectral), "linalg.expm.spectral");
+}
+
+}  // namespace
+}  // namespace qoc::obs

@@ -158,6 +158,7 @@ int main(int argc, char** argv) {
                                           cmp.standard.gate_error_err).c_str(),
                         cmp.improvement_percent);
         }
+        print_metrics_summary();  // no-op unless QOC_METRICS is set
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
