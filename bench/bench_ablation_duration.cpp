@@ -34,7 +34,7 @@ int main() {
         const auto sup = dev.schedule_superop_1q(designed.schedule, 0);
         const double err =
             1.0 - quantum::average_gate_fidelity_subspace(g::x(), sup, dev.config().levels);
-        std::printf("%-10zu %-10.1f %-16.3e %-18.3e %s\n", dur, dur * dev.config().dt,
+        std::printf("%-10zu %-10.1f %-16.3e %-18.3e %s\n", dur, static_cast<double>(dur) * dev.config().dt,
                     designed.model_fid_err, err, err < def_err ? "better" : "worse");
     }
     std::printf("\n[shape: short-to-moderate custom pulses beat the default; very long\n"

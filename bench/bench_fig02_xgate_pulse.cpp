@@ -15,7 +15,7 @@ int main() {
 
     std::printf("model infidelity after optimization: %.3e\n", designed.model_fid_err);
     std::printf("pulse duration: %zu dt = %.1f ns (default X: 160 dt = %.1f ns)\n",
-                designed.duration_dt, designed.duration_dt * dev.config().dt,
+                designed.duration_dt, static_cast<double>(designed.duration_dt) * dev.config().dt,
                 160 * dev.config().dt);
 
     const auto samples = designed.schedule.channel_samples(pulse::drive_channel(0),

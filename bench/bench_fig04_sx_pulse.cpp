@@ -14,7 +14,7 @@ int main() {
     std::printf("model infidelity: %.3e (decoherence dropped, per the paper)\n",
                 designed.model_fid_err);
     std::printf("pulse duration: %zu dt = %.1f ns\n", designed.duration_dt,
-                designed.duration_dt * dev.config().dt);
+                static_cast<double>(designed.duration_dt) * dev.config().dt);
 
     // Initial vs final control amplitudes (the paper's first frame).
     std::vector<double> seed(designed.optim.initial_amps.size());

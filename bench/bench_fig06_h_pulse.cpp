@@ -14,7 +14,7 @@ int main() {
 
     std::printf("model infidelity: %.3e\n", designed.model_fid_err);
     std::printf("pulse duration: %zu dt = %.1f ns (default H: virtual-Z + one 160 dt sx)\n",
-                designed.duration_dt, designed.duration_dt * dev.config().dt);
+                designed.duration_dt, static_cast<double>(designed.duration_dt) * dev.config().dt);
 
     auto column = [&](const control::ControlAmplitudes& amps, std::size_t j) {
         std::vector<double> out(amps.size());

@@ -13,7 +13,7 @@ int main() {
 
     std::printf("model infidelity: %.3e\n", designed.model_fid_err);
     std::printf("pulse duration: %zu dt = %.0f ns (default echoed-CR CX: %zu dt)\n",
-                designed.duration_dt, designed.duration_dt * dev.config().dt,
+                designed.duration_dt, static_cast<double>(designed.duration_dt) * dev.config().dt,
                 device::build_default_gates(dev).get("cx", {0, 1}).total_duration());
 
     const std::size_t n = designed.schedule.total_duration();

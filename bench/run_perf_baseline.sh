@@ -19,6 +19,22 @@ build_dir="${1:-build}"
 out="${2:-BENCH_kernels.json}"
 shift $(( $# > 2 ? 2 : $# )) || true
 
+# Refuse instrumented build dirs BEFORE the reconfigure below touches them:
+# sanitizers and armed contracts change the hot paths, so their numbers must
+# never land in a baseline JSON -- and reconfiguring first would both rewrite
+# the cache evidence and pollute a sanitizer/contracts dir with Release flags.
+if [[ -f "$build_dir/CMakeCache.txt" ]]; then
+    for flag in QOC_SANITIZE QOC_SANITIZE_THREAD QOC_CONTRACTS; do
+        val="$(sed -n "s/^${flag}:[^=]*=//p" "$build_dir/CMakeCache.txt")"
+        if [[ "${val^^}" == "ON" || "${val^^}" == "TRUE" || "$val" == "1" ]]; then
+            echo "error: $build_dir was configured with ${flag}=${val}." >&2
+            echo "Instrumented builds are not comparable benchmark baselines;" >&2
+            echo "use a plain Release dir: bench/run_perf_baseline.sh build-release" >&2
+            exit 1
+        fi
+    done
+fi
+
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"

@@ -1,0 +1,42 @@
+#include "contracts/contracts.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace qoc::contracts {
+
+#if defined(QOC_CONTRACTS_ENABLED)
+
+void set_enabled(bool on) noexcept {
+    g_contracts_state.store(on ? 1u : 0u, std::memory_order_relaxed);
+}
+
+void fail(const char* file, int line, const char* expr, const std::string& detail) {
+    std::ostringstream os;
+    os << "QOC contract violation: " << detail << "\n  expression: " << expr << "\n  location:   "
+       << file << ":" << line;
+    throw ContractViolation(os.str());
+}
+
+namespace {
+
+/// Startup override mirroring qoc::obs: contracts compile in armed, and
+/// `QOC_CONTRACTS=0` (or `off`/`false`, case-insensitive) disarms them
+/// without a rebuild.  Any other value (including unset) leaves them armed.
+struct EnvInit {
+    EnvInit() {
+        const char* v = std::getenv("QOC_CONTRACTS");
+        if (v == nullptr) return;
+        std::string s(v);
+        for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (s == "0" || s == "off" || s == "false") set_enabled(false);
+    }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+#endif  // QOC_CONTRACTS_ENABLED
+
+}  // namespace qoc::contracts

@@ -7,6 +7,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "contracts/matrix_checks.hpp"
 #include "linalg/expm.hpp"
 #include "obs/obs.hpp"
 
@@ -98,6 +99,28 @@ public:
             }
             overlap_target_ = prob_.target;
             norm_dim_ = static_cast<double>(prob_.target.rows());
+        }
+
+        // Model invariants (checked builds only): Hermitian generators,
+        // unitary gate targets / trace-preserving superoperator targets,
+        // normalized transfer kets.
+        if (contracts::enabled()) {
+            if (!open_) {
+                contracts::check_hermitian(prob_.system.drift, "GRAPE: drift H_0");
+                for (const Mat& c : prob_.system.ctrls) {
+                    contracts::check_hermitian(c, "GRAPE: control H_j");
+                }
+                if (prob_.state_transfer) {
+                    contracts::check_normalized_ket(prob_.state_transfer->psi_initial,
+                                                    "GRAPE: psi_initial");
+                    contracts::check_normalized_ket(prob_.state_transfer->psi_target,
+                                                    "GRAPE: psi_target");
+                } else {
+                    contracts::check_unitary(prob_.target, "GRAPE: target gate");
+                }
+            } else {
+                contracts::check_trace_preserving(prob_.target, "GRAPE: target superop", 1e-6);
+            }
         }
 
         // Pre-scale control generators into exponent directions.
@@ -281,6 +304,7 @@ public:
                 grad[k * n_ctrl_ + j] = derr;
             }
         }
+        double total = err;
         if (prob_.energy_penalty > 0.0) {
             const double w = prob_.energy_penalty / static_cast<double>(n_params());
             double penalty = 0.0;
@@ -288,9 +312,11 @@ public:
                 penalty += w * x[i] * x[i];
                 grad[i] += 2.0 * w * x[i];
             }
-            return err + penalty;
+            total = err + penalty;
         }
-        return err;
+        contracts::check_finite(total, "GRAPE objective: cost");
+        contracts::check_all_finite(grad, "GRAPE objective: gradient");
+        return total;
     }
 
 private:
@@ -333,21 +359,6 @@ GrapeResult run_lbfgsb(const GrapeProblem& problem, bool open_system,
     result.initial_amps = problem.initial_amps;
     result.initial_fid_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
 
-    optim::Objective obj = [&](const std::vector<double>& x, std::vector<double>& g) {
-        return eval.objective(x, g);
-    };
-
-    optim::LbfgsBOptions opts = opts_in;
-    auto user_iter_cb = opts.iter_callback;
-    auto user_cb = opts.callback;
-    opts.iter_callback = [&](const optim::IterationRecord& rec) {
-        result.fid_err_history.push_back(rec.cost);
-        result.iteration_records.push_back(rec);
-        if (user_iter_cb) user_iter_cb(rec);
-        if (user_cb) user_cb(rec.iteration, rec.cost, rec.grad_norm);
-    };
-    opts.callback = nullptr;  // legacy shim folded into iter_callback above
-
     optim::Bounds bounds =
         optim::Bounds::uniform(eval.n_params(), problem.amp_lower, problem.amp_upper);
     if (!problem.amp_lower_per_ctrl.empty() || !problem.amp_upper_per_ctrl.empty()) {
@@ -363,6 +374,33 @@ GrapeResult run_lbfgsb(const GrapeProblem& problem, bool open_system,
             }
         }
     }
+
+    optim::Objective obj = [&](const std::vector<double>& x, std::vector<double>& g) {
+        // Hardware-range invariant: L-BFGS-B evaluates only in-box iterates
+        // (the paper's +-1 PWC amplitude bound, or the user's box).
+        if (contracts::enabled()) {
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                contracts::check_in_range(x[i], bounds.lower[i], bounds.upper[i],
+                                          "GRAPE: PWC amplitude iterate", 1e-10);
+            }
+        }
+        return eval.objective(x, g);
+    };
+
+    optim::LbfgsBOptions opts = opts_in;
+    auto user_iter_cb = opts.iter_callback;
+#pragma GCC diagnostic push  // fold deprecated `callback` users into iter_callback
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    auto user_cb = opts.callback;
+    opts.callback = nullptr;  // legacy shim folded into iter_callback below
+#pragma GCC diagnostic pop
+    opts.iter_callback = [&](const optim::IterationRecord& rec) {
+        result.fid_err_history.push_back(rec.cost);
+        result.iteration_records.push_back(rec);
+        if (user_iter_cb) user_iter_cb(rec);
+        if (user_cb) user_cb(rec.iteration, rec.cost, rec.grad_norm);
+    };
+
     const optim::OptimResult opt =
         optim::lbfgsb_minimize(obj, eval.flatten(problem.initial_amps), bounds, opts);
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "contracts/matrix_checks.hpp"
 #include "linalg/expm.hpp"
 #include "obs/obs.hpp"
 
@@ -34,6 +35,15 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
     }
     const double dt = problem.evo_time / static_cast<double>(n_ts);
     const std::size_t dim = problem.system.drift.rows();
+
+    // Same model invariants as the GRAPE evaluator (closed system).
+    if (contracts::enabled()) {
+        contracts::check_hermitian(problem.system.drift, "Krotov: drift H_0");
+        for (const Mat& c : problem.system.ctrls) {
+            contracts::check_hermitian(c, "Krotov: control H_j");
+        }
+        contracts::check_unitary(problem.target, "Krotov: target gate");
+    }
 
     // Overlap matrix and normalization (same conventions as GRAPE).
     Mat overlap;

@@ -128,8 +128,8 @@ std::vector<double> resample_zoh(const std::vector<double>& pulse, std::size_t n
     std::vector<double> out(n_dst);
     for (std::size_t k = 0; k < n_dst; ++k) {
         const double t = frac(k, n_dst);
-        auto src = std::min<std::size_t>(static_cast<std::size_t>(t * pulse.size()),
-                                         pulse.size() - 1);
+        auto src = std::min<std::size_t>(
+            static_cast<std::size_t>(t * static_cast<double>(pulse.size())), pulse.size() - 1);
         out[k] = pulse[src];
     }
     return out;

@@ -7,6 +7,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "contracts/matrix_checks.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/kron.hpp"
 #include "obs/obs.hpp"
@@ -182,6 +183,10 @@ Mat PulseExecutor::schedule_superop_1q(const pulse::Schedule& sched, std::size_t
     // U_circuit = F(phi)^dag U_sched, with F(phi) = e^{i phi n}.
     const double phi = net_frame_phase(sched, pulse::drive_channel(qubit));
     if (phi != 0.0) total = rz_superop_1q(-phi) * total;
+    // Lindblad propagation (Eq. 1) composed over the waveform must stay a
+    // trace-preserving channel; tolerance absorbs the per-sample roundoff
+    // accumulated across long schedules.
+    contracts::check_trace_preserving(total, "schedule_superop_1q", 1e-7);
     return total;
 }
 
@@ -296,6 +301,7 @@ Mat PulseExecutor::schedule_superop_2q(const pulse::Schedule& sched) const {
         const double phi = net_frame_phase(sched, pulse::drive_channel(q));
         if (phi != 0.0) total = rz_superop_2q(-phi, q) * total;
     }
+    contracts::check_trace_preserving(total, "schedule_superop_2q", 1e-7);
     return total;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "contracts/matrix_checks.hpp"
 #include "linalg/expm.hpp"
 
 namespace qoc::dynamics {
@@ -51,8 +52,19 @@ Mat PwcSystem::generator(const std::vector<double>& amps) const {
 
 std::vector<Mat> pwc_unitary_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,
                                          double dt) {
+    // Closed-system slot generators H_0 + sum u_j H_j are Hermitian iff the
+    // drift and every control generator are; checking the parts once beats
+    // checking each of the (possibly thousands of) slot sums.
+    contracts::check_hermitian(sys.drift, "pwc_unitary_propagators: drift H_0");
+    for (const Mat& c : sys.ctrls) {
+        contracts::check_hermitian(c, "pwc_unitary_propagators: control H_j");
+    }
     // kAuto: Hermitian-generator slots take the exact spectral path.
-    return pwc_propagators(sys, amps, -kI * dt, linalg::ExpmMethod::kAuto);
+    std::vector<Mat> props = pwc_propagators(sys, amps, -kI * dt, linalg::ExpmMethod::kAuto);
+    for (const Mat& p : props) {
+        contracts::check_unitary(p, "pwc_unitary_propagators: slot propagator", 1e-9);
+    }
+    return props;
 }
 
 std::vector<Mat> pwc_superop_propagators(const PwcSystem& sys, const ControlAmplitudes& amps,

@@ -59,7 +59,7 @@ GateComparison compare_1q_gate(const PulseExecutor& device,
 GateComparison compare_cx_gate(const PulseExecutor& device,
                                const pulse::InstructionScheduleMap& defaults,
                                const pulse::Schedule& custom_schedule,
-                               const rb::Clifford1Q& c1, const rb::Clifford2Q& c2,
+                               const rb::Clifford1Q& /*c1*/, const rb::Clifford2Q& c2,
                                const rb::RbOptions& options) {
     const rb::GateSet2Q gates(device, defaults, c2);
     const std::size_t cliff_index = c2.find(g::cx());

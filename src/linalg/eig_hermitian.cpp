@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "contracts/matrix_checks.hpp"
+
 namespace qoc::linalg {
 
 namespace {
@@ -106,6 +108,9 @@ EigH eig_hermitian(const Mat& a, double herm_tol) {
 
 void eig_hermitian_into(const Mat& a, std::vector<double>& eigenvalues, Mat& eigenvectors,
                         Mat& work) {
+    // The release path skips the Hermiticity test by design (hot loop); the
+    // contract restores it in checked builds.
+    contracts::check_hermitian(a, "eig_hermitian_into: input");
     const std::size_t n = a.rows();
     work = a;
     eigenvectors.resize(n, n);  // zero-fills, then seed the identity

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "contracts/contracts.hpp"
 #include "obs/obs.hpp"
 
 namespace qoc::optim {
@@ -346,6 +347,8 @@ LineSearchResult wolfe_search(const Objective& objective, std::vector<double>& x
     auto eval = [&](double a, double& fa, double& dfa) {
         for (std::size_t i = 0; i < n; ++i) xt[i] = x[i] + a * d[i];
         fa = objective(xt, gt);
+        contracts::check_finite(fa, "L-BFGS-B: objective value (line search)");
+        contracts::check_all_finite(gt, "L-BFGS-B: gradient (line search)");
         ++evals;
         dfa = dot(gt, d);
     };
@@ -453,6 +456,8 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
     res.x = std::move(x0);
     std::vector<double> g(n);
     res.f = objective(res.x, g);
+    contracts::check_finite(res.f, "L-BFGS-B: objective value (x0)");
+    contracts::check_all_finite(g, "L-BFGS-B: gradient (x0)");
     res.evaluations = 1;
 
     LmModel model;
@@ -462,6 +467,8 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
 
     for (res.iterations = 0; res.iterations < opts_.max_iterations; ++res.iterations) {
         res.grad_norm = projected_gradient_norm(res.x, g, bounds);
+#pragma GCC diagnostic push  // the shim must keep serving deprecated `callback` users
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
         if (opts_.iter_callback || opts_.callback || obs::telemetry_enabled()) {
             IterationRecord rec;
             rec.iteration = res.iterations;
@@ -477,6 +484,7 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
             obs::emit_optimizer_iteration("lbfgsb", rec.iteration, rec.cost, rec.grad_norm,
                                           rec.step, rec.n_fun_evals, rec.wall_time_s);
         }
+#pragma GCC diagnostic pop
         if (res.grad_norm <= opts_.pg_tol) {
             res.reason = StopReason::kConverged;
             return res;

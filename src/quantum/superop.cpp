@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "contracts/matrix_checks.hpp"
 #include "linalg/kron.hpp"
 #include "obs/obs.hpp"
 #include "quantum/operators.hpp"
@@ -17,6 +18,7 @@ constexpr cplx kI{0.0, 1.0};
 
 Mat liouvillian_hamiltonian(const Mat& h) {
     if (!h.is_square()) throw std::invalid_argument("liouvillian_hamiltonian: non-square");
+    contracts::check_hermitian(h, "liouvillian_hamiltonian: H");
     const std::size_t n = h.rows();
     const Mat ident = Mat::identity(n);
     // vec(-i(H rho - rho H)) = -i (I (x) H - H^T (x) I) vec(rho)
@@ -35,11 +37,14 @@ Mat lindblad_dissipator(const Mat& c) {
 Mat liouvillian(const Mat& h, const std::vector<Mat>& collapse_ops) {
     Mat l = liouvillian_hamiltonian(h);
     for (const Mat& c : collapse_ops) l += lindblad_dissipator(c);
+    // Generator-level trace preservation (Eq. 1): d/dt Tr rho = 0.
+    contracts::check_trace_annihilating(l, "liouvillian: L");
     return l;
 }
 
 Mat unitary_superop(const Mat& u) {
     if (!u.is_square()) throw std::invalid_argument("unitary_superop: non-square");
+    contracts::check_unitary(u, "unitary_superop: U");
     return kron(u.conj(), u);
 }
 
@@ -79,6 +84,8 @@ Mat depolarizing_superop(std::size_t dim, double p) {
     for (std::size_t i = 0; i < n2; ++i)
         for (std::size_t j = 0; j < n2; ++j)
             s(i, j) += w * id_vec(i, 0) * std::conj(id_vec(j, 0));
+    contracts::check_trace_preserving(s, "depolarizing_superop");
+    contracts::check_completely_positive(s, "depolarizing_superop");
     return s;
 }
 
@@ -87,7 +94,10 @@ Mat amplitude_damping_superop(double gamma) {
     const double sg = std::sqrt(gamma), s1 = std::sqrt(1.0 - gamma);
     const Mat k0{{1.0, 0.0}, {0.0, s1}};
     const Mat k1{{0.0, sg}, {0.0, 0.0}};
-    return kron(k0.conj(), k0) + kron(k1.conj(), k1);
+    Mat s = kron(k0.conj(), k0) + kron(k1.conj(), k1);
+    contracts::check_trace_preserving(s, "amplitude_damping_superop");
+    contracts::check_completely_positive(s, "amplitude_damping_superop");
+    return s;
 }
 
 Mat phase_damping_superop(double lambda) {
@@ -95,7 +105,10 @@ Mat phase_damping_superop(double lambda) {
     const double s1 = std::sqrt(1.0 - lambda), sl = std::sqrt(lambda);
     const Mat k0{{1.0, 0.0}, {0.0, s1}};
     const Mat k1{{0.0, 0.0}, {0.0, sl}};
-    return kron(k0.conj(), k0) + kron(k1.conj(), k1);
+    Mat s = kron(k0.conj(), k0) + kron(k1.conj(), k1);
+    contracts::check_trace_preserving(s, "phase_damping_superop");
+    contracts::check_completely_positive(s, "phase_damping_superop");
+    return s;
 }
 
 }  // namespace qoc::quantum

@@ -1,5 +1,7 @@
 #include "rb/clifford1q.hpp"
 
+#include "contracts/matrix_checks.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <deque>
@@ -97,7 +99,10 @@ Clifford1Q::Clifford1Q() {
 
     // Canonical-phase hash index for O(1) find().
     key_index_.reserve(kSize);
-    for (std::size_t i = 0; i < kSize; ++i) key_index_.emplace(phase_key(unitaries_[i]), i);
+    for (std::size_t i = 0; i < kSize; ++i) {
+        contracts::check_unitary(unitaries_[i], "Clifford1Q: group element");
+        key_index_.emplace(phase_key(unitaries_[i]), i);
+    }
     if (key_index_.size() != kSize) {
         throw std::logic_error("Clifford1Q: phase_key collision within the group");
     }

@@ -1,5 +1,7 @@
 #include "rb/clifford2q.hpp"
 
+#include "contracts/matrix_checks.hpp"
+
 #include <numbers>
 #include <stdexcept>
 
@@ -51,7 +53,10 @@ Clifford2Q::Clifford2Q(const Clifford1Q& c1) : c1_(c1) {
         unitaries_[static_cast<std::size_t>(i)] =
             compute_unitary(static_cast<std::size_t>(i));
     }
-    for (std::size_t i = 0; i < kSize; ++i) key_index_.emplace(phase_key(unitaries_[i]), i);
+    for (std::size_t i = 0; i < kSize; ++i) {
+        contracts::check_unitary(unitaries_[i], "Clifford2Q: group element");
+        key_index_.emplace(phase_key(unitaries_[i]), i);
+    }
     if (key_index_.size() != kSize) {
         throw std::logic_error("Clifford2Q: coset construction produced duplicates");
     }

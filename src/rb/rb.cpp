@@ -1,5 +1,7 @@
 #include "rb/rb.hpp"
 
+#include "contracts/matrix_checks.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -108,6 +110,7 @@ GateSet1Q::GateSet1Q(const PulseExecutor& exec, const pulse::InstructionSchedule
                 throw std::logic_error("GateSet1Q: unknown basis gate " + g.name);
             }
         }
+        contracts::check_trace_preserving(total, "GateSet1Q: Clifford superop", 1e-7);
         cliff_super_.push_back(std::move(total));
     }
 }
@@ -170,7 +173,9 @@ RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size
             quantum::apply_superop_into(gates.clifford_superop(rec), w.v, w.v_next);
             std::swap(w.v, w.v_next);
 
+            contracts::check_density_vec(w.v, "RB 1Q: state after recovery", 1e-6);
             const double p0 = 1.0 - exec.p1_after_readout_vec(w.v, qubit);
+            contracts::check_probability(p0, "RB 1Q: survival probability", 1e-6);
             // Shot sampling.
             std::binomial_distribution<int> shots_dist(opts.shots, std::clamp(p0, 0.0, 1.0));
             survivals[static_cast<std::size_t>(s)] =
@@ -253,6 +258,7 @@ Mat GateSet2Q::compose_superop(std::size_t i) const {
             throw std::logic_error("GateSet2Q: unknown gate " + g.name);
         }
     }
+    contracts::check_trace_preserving(total, "GateSet2Q: Clifford superop", 1e-7);
     return total;
 }
 
@@ -332,6 +338,7 @@ RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbO
             quantum::apply_superop_into(gates.clifford_superop(rec), w.v, w.v_next);
             std::swap(w.v, w.v_next);
 
+            contracts::check_density_vec(w.v, "RB 2Q: state after recovery", 1e-6);
             const device::Counts counts = exec.measure_2q_vec(w.v, opts.shots, rng());
             survivals[static_cast<std::size_t>(s)] = counts.probability("00");
             obs::emit_rb_seed(interleave_super ? "irb2q" : "rb2q", m, s,

@@ -1,0 +1,31 @@
+/// Heap-allocation meter for the analysis tests.
+///
+/// tests/analysis/alloc_interpose.cpp replaces the global `operator new`
+/// family IN THIS TEST BINARY ONLY with counting forwards to malloc.  The
+/// meter reads the counter before and after a measured region, so a test can
+/// assert "this kernel performs exactly zero heap allocations" or "this
+/// optimizer iteration stays within its allocation budget".
+///
+/// Do not link alloc_interpose.cpp into sanitizer builds: ASan/TSan provide
+/// their own allocator interposition and the two replacements conflict (the
+/// tests/CMakeLists.txt registration is gated accordingly).
+#pragma once
+
+#include <cstdint>
+
+namespace qoc::testing {
+
+/// Number of global operator new / new[] calls since process start.
+std::uint64_t alloc_count() noexcept;
+
+/// Counts allocations from its construction: `AllocMeter m; ...; m.delta()`.
+class AllocMeter {
+public:
+    AllocMeter() noexcept : start_(alloc_count()) {}
+    std::uint64_t delta() const noexcept { return alloc_count() - start_; }
+
+private:
+    std::uint64_t start_;
+};
+
+}  // namespace qoc::testing

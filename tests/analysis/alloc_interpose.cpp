@@ -1,0 +1,62 @@
+/// Counting replacements for the global allocation functions (see
+/// alloc_guard.hpp).  C++ guarantees a program may replace these; every
+/// `new`-expression and standard-library allocation in the test binary then
+/// funnels through the counter.  Deallocation goes straight to free() --
+/// both malloc and posix_memalign memory free() correctly.
+
+#include "analysis/alloc_guard.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_malloc(std::size_t n) noexcept {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n != 0 ? n : 1);
+}
+
+void* counted_aligned(std::size_t n, std::size_t align) noexcept {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (align < sizeof(void*)) align = sizeof(void*);
+    void* p = nullptr;
+    if (posix_memalign(&p, align, n != 0 ? n : 1) != 0) return nullptr;
+    return p;
+}
+}  // namespace
+
+namespace qoc::testing {
+std::uint64_t alloc_count() noexcept { return g_alloc_count.load(std::memory_order_relaxed); }
+}  // namespace qoc::testing
+
+void* operator new(std::size_t n) {
+    if (void* p = counted_malloc(n)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+    if (void* p = counted_malloc(n)) return p;
+    throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept { return counted_malloc(n); }
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept { return counted_malloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+    if (void* p = counted_aligned(n, static_cast<std::size_t>(al))) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+    if (void* p = counted_aligned(n, static_cast<std::size_t>(al))) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

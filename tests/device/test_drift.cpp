@@ -89,13 +89,13 @@ TEST(Drift, CorrelatedAcrossDays) {
     for (int day = 0; day < 40; ++day) det.push_back(m.device_on_day(day).qubit(0).detuning);
     double var = 0.0, dvar = 0.0, mean = 0.0;
     for (double v : det) mean += v;
-    mean /= det.size();
+    mean /= static_cast<double>(det.size());
     for (std::size_t i = 0; i < det.size(); ++i) {
         var += (det[i] - mean) * (det[i] - mean);
         if (i > 0) dvar += (det[i] - det[i - 1]) * (det[i] - det[i - 1]);
     }
-    var /= det.size();
-    dvar /= (det.size() - 1);
+    var /= static_cast<double>(det.size());
+    dvar /= static_cast<double>(det.size() - 1);
     // For an AR(1) with coefficient a: E[(x_t - x_{t-1})^2] = 2(1-a) var.
     // With a = 0.6 that's 0.8 var < 2 var (i.i.d. would give 2 var).
     EXPECT_LT(dvar, 1.6 * var);

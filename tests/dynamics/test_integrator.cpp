@@ -70,7 +70,8 @@ TEST(Rk45, TimeDependentHamiltonianMatchesPwc) {
         return amps[k] * 0.5 * sigma_x();
     };
     const Mat rho0 = ket_to_dm(basis_ket(2, 0));
-    const Mat via_rk = evolve_master_equation(h, {}, rho0, 0.0, dt * amps.size());
+    const Mat via_rk =
+        evolve_master_equation(h, {}, rho0, 0.0, dt * static_cast<double>(amps.size()));
 
     PwcSystem sys{Mat(2, 2), {0.5 * sigma_x()}};
     ControlAmplitudes slot_amps;

@@ -125,10 +125,23 @@ TEST(LbfgsB, MaxIterationsRespected) {
 TEST(LbfgsB, CallbackObservesMonotoneDecrease) {
     std::vector<double> history;
     LbfgsBOptions opts;
-    opts.callback = [&](int, double f, double) { history.push_back(f); };
+    opts.iter_callback = [&](const IterationRecord& rec) { history.push_back(rec.cost); };
     lbfgsb_minimize(rosenbrock, {-1.2, 1.0}, Bounds::unbounded(2), opts);
     ASSERT_GT(history.size(), 2u);
     for (std::size_t i = 1; i < history.size(); ++i) EXPECT_LE(history[i], history[i - 1] + 1e-12);
+}
+
+TEST(LbfgsB, DeprecatedCallbackStillInvoked) {
+    // The legacy observer is deprecated but must keep firing until removed.
+    std::vector<int> iterations;
+    LbfgsBOptions opts;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    opts.callback = [&](int it, double, double) { iterations.push_back(it); };
+#pragma GCC diagnostic pop
+    lbfgsb_minimize(rosenbrock, {-1.2, 1.0}, Bounds::unbounded(2), opts);
+    ASSERT_GT(iterations.size(), 1u);
+    EXPECT_EQ(iterations.front(), 0);
 }
 
 TEST(LbfgsB, MismatchedBoundsThrow) {

@@ -139,7 +139,7 @@ int main(int argc, char** argv) {
         const DesignedGate d = design_1q_gate(nominal, 0, gate, spec);
         std::printf("designed %s on %s: %zu dt (%.1f ns), model infidelity %.3e\n",
                     gate.c_str(), backend.c_str(), d.duration_dt,
-                    d.duration_dt * cfg.dt, d.model_fid_err);
+                    static_cast<double>(d.duration_dt) * cfg.dt, d.model_fid_err);
         const auto sup = dev.schedule_superop_1q(d.schedule, 0);
         std::printf("device subspace infidelity: %.3e\n",
                     1.0 - quantum::average_gate_fidelity_subspace(spec.target, sup,
