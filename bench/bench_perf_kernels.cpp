@@ -4,10 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <random>
+#include <vector>
 
 #include "control/grape.hpp"
 #include "device/calibration.hpp"
+#include "experiments/design_pipeline.hpp"
+#include "experiments/gate_designer.hpp"
+#include "experiments/irb_experiment.hpp"
 #include "linalg/expm.hpp"
 #include "obs/obs.hpp"
 #include "quantum/gates.hpp"
@@ -207,6 +212,103 @@ void BM_IrbPipeline1q(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_IrbPipeline1q)->Unit(benchmark::kMillisecond);
+
+// --- batched design pipeline vs sequential per-call flow --------------------
+//
+// Same 4-gate x 4-seed design+IRB workload through both front ends.  The
+// batch runs it as one DesignPipeline::run, which shares one GateSet1Q and
+// one reference RB curve across every characterization on the qubit (1 gate
+// set, 1 reference + 8 interleaved curves).  The sequential baseline is
+// the pre-pipeline per-call composition -- design_1q_gate per candidate,
+// then a fresh GateSet1Q and two run_irb_1q calls per gate, each of which
+// re-measures the reference (4 gate sets, 8 reference + 8 interleaved
+// curves).  The design work is identical on both sides, so the ratio
+// isolates the shared-work dedup.
+
+struct PipelineBenchGate {
+    const char* name;
+    std::size_t qubit;
+};
+constexpr PipelineBenchGate kPipelineGates[] = {
+    {"x", 0}, {"y", 0}, {"sx", 0}, {"h", 0}};
+constexpr std::uint64_t kPipelineSeeds[] = {1, 2, 3, 4};
+
+experiments::GateDesignSpec pipeline_bench_spec(const std::string& gate) {
+    experiments::GateDesignSpec s;
+    s.target = experiments::ideal_1q_gate(gate);
+    s.duration_dt = 48;
+    s.n_timeslots = 6;
+    s.model = experiments::DesignModel::kTwoLevelClosed;
+    s.max_iterations = 3;
+    s.target_fid_err = 1e-8;
+    return s;
+}
+
+rb::RbOptions pipeline_bench_rb() {
+    rb::RbOptions o;
+    o.lengths = {1, 150, 400};
+    o.seeds_per_length = 3;
+    o.shots = 512;
+    return o;
+}
+
+void BM_DesignPipelineBatch(benchmark::State& state) {
+    static device::PulseExecutor exec(device::ibmq_montreal());
+    static const auto defaults = device::build_default_gates(exec);
+    experiments::DesignPipelineOptions po;
+    po.rb = pipeline_bench_rb();
+    std::vector<experiments::GateJob1Q> jobs;
+    for (const PipelineBenchGate& g : kPipelineGates) {
+        experiments::GateJob1Q job;
+        job.gate_name = g.name;
+        job.qubit = g.qubit;
+        job.spec = pipeline_bench_spec(g.name);
+        job.seeds.assign(std::begin(kPipelineSeeds), std::end(kPipelineSeeds));
+        jobs.push_back(std::move(job));
+    }
+    for (auto _ : state) {
+        // A fresh pipeline per iteration so the shared contexts (gate sets,
+        // reference curves) are rebuilt -- amortizing them across iterations
+        // would overstate the dedup win.
+        const experiments::DesignPipeline pipeline(exec, defaults, po);
+        benchmark::DoNotOptimize(pipeline.run(jobs));
+    }
+}
+BENCHMARK(BM_DesignPipelineBatch)->Unit(benchmark::kMillisecond);
+
+void BM_DesignPipelineSequential(benchmark::State& state) {
+    static device::PulseExecutor exec(device::ibmq_montreal());
+    static const auto defaults = device::build_default_gates(exec);
+    static const rb::Clifford1Q group;
+    const rb::RbOptions opts = pipeline_bench_rb();
+    const auto model = device::nominal_model(exec.config());
+    for (auto _ : state) {
+        for (const PipelineBenchGate& g : kPipelineGates) {
+            experiments::DesignedGate best;
+            double best_err = 2.0;
+            for (const std::uint64_t seed : kPipelineSeeds) {
+                experiments::GateDesignSpec sp = pipeline_bench_spec(g.name);
+                sp.random_seed = seed;
+                experiments::DesignedGate d =
+                    experiments::design_1q_gate(model, g.qubit, g.name, sp);
+                if (d.model_fid_err < best_err) {
+                    best_err = d.model_fid_err;
+                    best = std::move(d);
+                }
+            }
+            const rb::GateSet1Q gates(exec, defaults, g.qubit, group);
+            const std::size_t cliff = group.find(experiments::ideal_1q_gate(g.name));
+            const auto custom_super = exec.schedule_superop_1q(best.schedule, g.qubit);
+            const auto default_super =
+                experiments::default_gate_superop_1q(exec, defaults, g.name, g.qubit);
+            benchmark::DoNotOptimize(
+                rb::run_irb_1q(exec, gates, g.qubit, custom_super, cliff, opts));
+            benchmark::DoNotOptimize(
+                rb::run_irb_1q(exec, gates, g.qubit, default_super, cliff, opts));
+        }
+    }
+}
+BENCHMARK(BM_DesignPipelineSequential)->Unit(benchmark::kMillisecond);
 
 // --- observability gate cost ----------------------------------------------
 //

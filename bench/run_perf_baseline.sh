@@ -47,6 +47,12 @@ fi
 
 cmake --build "$build_dir" -j --target bench_perf_kernels >/dev/null
 
+# Pin the qoc::runtime task-pool width so recorded numbers are reproducible
+# across machines: default 1 (the serial inline path, bitwise the reference
+# configuration); override with QOC_THREADS=N for scaling runs.
+export QOC_THREADS="${QOC_THREADS:-1}"
+echo "task-pool width: QOC_THREADS=$QOC_THREADS"
+
 # Record the obs metrics registry alongside the timings: the JSONL's final
 # {"type":"metrics",...} line snapshots kernel-call and cache-hit counts for
 # the exact run the numbers came from.

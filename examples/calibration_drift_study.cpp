@@ -4,12 +4,17 @@
 ///        keeps the default gates matched to the hardware while the fixed
 ///        custom pulse -- and the readout -- wander, so histograms
 ///        fluctuate while the IRB gate error stays deceptively flat.
+///
+/// The one-time pulse design runs through a design-only
+/// `experiments::DesignPipeline`; each simulated day then gets its own
+/// pipeline bound to that day's drifted device, whose `irb_custom_1q`
+/// measures the fixed pulse against the day's shared reference RB curve.
 
 #include <cstdio>
 
 #include "device/calibration.hpp"
 #include "device/drift_model.hpp"
-#include "experiments/gate_designer.hpp"
+#include "experiments/design_pipeline.hpp"
 #include "experiments/irb_experiment.hpp"
 #include "experiments/report.hpp"
 #include "quantum/gates.hpp"
@@ -21,23 +26,27 @@ int main() {
     const device::BackendConfig nominal = device::ibmq_montreal();
     const device::DriftModel drift(nominal, /*seed=*/2022);
 
-    // Optimize the sqrt(X) pulse ONCE against the nominal model.
-    GateDesignSpec spec;
-    spec.target = quantum::gates::sx();
-    spec.duration_dt = 736;
-    spec.n_timeslots = 48;
-    spec.use_y_control = false;
-    spec.model = DesignModel::kThreeLevelClosed;
-    const DesignedGate fixed_pulse =
-        design_1q_gate(device::nominal_model(nominal), 0, "sx", spec);
+    // Optimize the sqrt(X) pulse ONCE against the nominal model: a
+    // design-only pipeline (characterization is skipped entirely).
+    GateJob1Q job;
+    job.gate_name = "sx";
+    job.spec.target = quantum::gates::sx();
+    job.spec.duration_dt = 736;
+    job.spec.n_timeslots = 48;
+    job.spec.use_y_control = false;
+    job.spec.model = DesignModel::kThreeLevelClosed;
+    DesignPipelineOptions design_po;
+    design_po.characterize = false;
+    const DesignPipeline designer(nominal, design_po);
+    const PipelineResult designed = designer.run({job});
+    const DesignedGate& fixed_pulse = designed.gates[0].best();
     std::printf("sqrt(X) optimized once (model infidelity %.2e); now running it daily.\n\n",
                 fixed_pulse.model_fid_err);
 
-    rb::Clifford1Q group;
-    rb::RbOptions opts;
-    opts.lengths = {1, 300, 800, 1600, 2600};
-    opts.seeds_per_length = 6;
-    opts.shots = 4096;
+    DesignPipelineOptions daily_po;
+    daily_po.rb.lengths = {1, 300, 800, 1600, 2600};
+    daily_po.rb.seeds_per_length = 6;
+    daily_po.rb.shots = 4096;
 
     std::printf("%-5s %-6s %-12s %-16s %-14s\n", "day", "jump?", "P(1) [%]",
                 "IRB gate error", "readout p01");
@@ -48,10 +57,8 @@ int main() {
         const auto defaults = device::build_default_gates(dev);
         const auto counts = state_histogram_1q(dev, defaults, "sx", 0,
                                                &fixed_pulse.schedule, 4096, 100 + day);
-        const std::size_t sx_index = group.find(quantum::gates::sx());
-        const auto custom_sup = dev.schedule_superop_1q(fixed_pulse.schedule, 0);
-        const auto irb = rb::run_irb_1q(dev, rb::GateSet1Q(dev, defaults, 0, group), 0,
-                                        custom_sup, sx_index, opts);
+        const DesignPipeline daily(dev, defaults, daily_po);
+        const auto irb = daily.irb_custom_1q("sx", 0, fixed_pulse.schedule);
         std::printf("%-5d %-6s %-12.2f %-16s %-14.4f\n", day,
                     drift.is_jump_day(day) ? "yes" : "no",
                     100.0 * counts.probability("1"),

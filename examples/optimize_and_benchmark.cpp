@@ -5,11 +5,16 @@
 ///        3. cast it into a custom calibration that shadows the default,
 ///        4. verify with a prepare-and-measure histogram,
 ///        5. characterize custom vs default with interleaved RB.
+///
+/// Steps 2 and 5 run as one `experiments::DesignPipeline` batch job: the
+/// pipeline designs the pulse, picks the best candidate and characterizes
+/// it against the default gate in a single call (sharing the reference RB
+/// curve between the custom and default IRB runs).
 
 #include <cstdio>
 
 #include "device/calibration.hpp"
-#include "experiments/gate_designer.hpp"
+#include "experiments/design_pipeline.hpp"
 #include "experiments/irb_experiment.hpp"
 #include "experiments/report.hpp"
 #include "quantum/gates.hpp"
@@ -19,38 +24,40 @@ int main() {
     using namespace qoc::experiments;
 
     // 1. Backend: the simulated ibmq_montreal with daily-calibrated defaults.
-    device::PulseExecutor dev(device::ibmq_montreal());
-    const auto defaults = device::build_default_gates(dev);
+    // The owning pipeline constructor builds the executor and calibrates the
+    // default gates; the RB options apply to every characterization it runs.
+    DesignPipelineOptions po;
+    po.rb.lengths = {1, 200, 500, 1000, 1800, 2800};
+    po.rb.seeds_per_length = 8;
+    po.rb.shots = 8192;
+    const DesignPipeline pipeline(device::ibmq_montreal(), po);
+    const device::PulseExecutor& dev = pipeline.executor();
     std::printf("device: %s (qubit 0: %.3f GHz, T1 = %.0f us)\n",
                 dev.config().name.c_str(), dev.config().qubit(0).frequency_ghz,
                 dev.config().qubit(0).t1 / 1000.0);
 
-    // 2. Design the X pulse on the nominal model (the paper's 480 dt pulse).
-    GateDesignSpec spec;
-    spec.target = quantum::gates::x();
-    spec.duration_dt = 480;
-    spec.n_timeslots = 48;
-    const DesignedGate designed =
-        design_1q_gate(device::nominal_model(dev.config()), 0, "x", spec);
+    // 2+5. One batch job: design the X pulse on the nominal model (the
+    // paper's 480 dt pulse) and characterize it with interleaved RB.
+    GateJob1Q job;
+    job.gate_name = "x";
+    job.spec.target = quantum::gates::x();
+    job.spec.duration_dt = 480;
+    job.spec.n_timeslots = 48;
+    const PipelineResult result = pipeline.run({job});
+    const GateResult1Q& xres = result.gates[0];
+    const DesignedGate& designed = xres.best();
     std::printf("designed X pulse: %zu dt (%.1f ns), model infidelity %.2e\n",
                 designed.duration_dt,
                 static_cast<double>(designed.duration_dt) * dev.config().dt,
                 designed.model_fid_err);
 
     // 3+4. Custom calibration in a circuit; measure the qubit.
-    const auto counts =
-        state_histogram_1q(dev, defaults, "x", 0, &designed.schedule, 4096, 2022);
+    const auto counts = state_histogram_1q(dev, pipeline.defaults(), "x", 0,
+                                           &designed.schedule, 4096, 2022);
     print_histogram("custom X gate, |0> prepared and measured", counts);
 
     // 5. Interleaved randomized benchmarking, custom vs default.
-    rb::Clifford1Q group;
-    rb::RbOptions opts;
-    opts.lengths = {1, 200, 500, 1000, 1800, 2800};
-    opts.seeds_per_length = 8;
-    opts.shots = 8192;
-    const GateComparison cmp =
-        compare_1q_gate(dev, defaults, "x", 0, designed.schedule, group, opts);
-
+    const GateComparison& cmp = xres.comparison;
     print_table("IRB comparison (X gate)",
                 {"pulse", "IRB error rate", "EPC (reference RB)"},
                 {{"custom (optimized)",

@@ -5,13 +5,15 @@
 #include <numbers>
 #include <random>
 
+#include "control/control_problem.hpp"
 #include "optim/nelder_mead.hpp"
 
 namespace qoc::control {
 
-CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& opts) {
-    const std::size_t n_ts = problem.n_timeslots;
-    const std::size_t n_ctrl = problem.system.ctrls.size();
+CrabResult crab_optimize(const ControlProblem& cp, const CrabOptions& opts) {
+    const GrapeProblem& problem = cp.problem();
+    const std::size_t n_ts = cp.n_ts();
+    const std::size_t n_ctrl = cp.n_ctrl();
     const std::size_t n_basis = opts.n_basis;
     const std::size_t n_params = n_ctrl * 2 * n_basis;
 
@@ -26,7 +28,7 @@ CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& opts) {
         }
     }
 
-    const double dt = problem.evo_time / static_cast<double>(n_ts);
+    const double dt = cp.dt();
 
     // Coefficients -> amplitude table, clipped to the hardware bounds.
     auto build_amps = [&](const std::vector<double>& coeffs) {
@@ -47,8 +49,10 @@ CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& opts) {
         return amps;
     };
 
+    // ONE evaluator serves every direct-search probe (the old code built a
+    // fresh one per evaluation); its workspaces amortize across the sweep.
     optim::ScalarObjective obj = [&](const std::vector<double>& coeffs) {
-        return evaluate_fid_err(problem, build_amps(coeffs));
+        return cp.fid_err(build_amps(coeffs));
     };
 
     optim::NelderMeadOptions nm;
@@ -67,12 +71,16 @@ CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& opts) {
         obj, std::vector<double>(n_params, 0.0),
         optim::Bounds::uniform(n_params, -opts.coeff_bound, opts.coeff_bound), nm);
 
-    result.initial_fid_err = evaluate_fid_err(problem, problem.initial_amps);
+    result.initial_fid_err = cp.fid_err(problem.initial_amps);
     result.final_amps = build_amps(opt.x);
     result.final_fid_err = opt.f;
     result.evaluations = opt.evaluations;
     result.reason = opt.reason;
     return result;
+}
+
+CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& opts) {
+    return crab_optimize(ControlProblem(problem), opts);
 }
 
 }  // namespace qoc::control

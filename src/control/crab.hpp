@@ -40,4 +40,7 @@ struct CrabResult {
 /// bounds.
 CrabResult crab_optimize(const GrapeProblem& problem, const CrabOptions& options = {});
 
+/// Same, over an already-constructed shared evaluator.
+CrabResult crab_optimize(const ControlProblem& cp, const CrabOptions& options = {});
+
 }  // namespace qoc::control

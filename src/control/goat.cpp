@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "control/control_problem.hpp"
+
 namespace qoc::control {
 
 namespace {
@@ -72,6 +74,11 @@ GoatResult goat_optimize(const GrapeProblem& problem, const GoatOptions& opts) {
     fine.amp_lower = -1e30;
     fine.amp_upper = 1e30;
     fine.energy_penalty = 0.0;
+    // The evaluator validates initial_amps against the fine grid; the seed
+    // table is never read by objective()/fid_err(), so a zero table of the
+    // right shape stands in for the coarse one inherited from `problem`.
+    fine.initial_amps.assign(opts.n_fine, std::vector<double>(n_ctrl, 0.0));
+    const ControlProblem cp(fine);
 
     std::vector<double> theta0 = opts.initial_params;
     if (theta0.empty()) {
@@ -111,7 +118,7 @@ GoatResult goat_optimize(const GrapeProblem& problem, const GoatOptions& opts) {
         }
 
         std::vector<double> amp_grad;
-        const double err = evaluate_fid_err_and_grad(fine, amps, amp_grad);
+        const double err = cp.objective(cp.flatten(amps), amp_grad);
 
         // Chain rule: d err / d theta = sum_k d err / d u_k * d u_k / d theta.
         grad.assign(n_params, 0.0);
@@ -144,7 +151,7 @@ GoatResult goat_optimize(const GrapeProblem& problem, const GoatOptions& opts) {
 
     result.params = opt.x;
     result.final_amps = goat_controls(opt.x, n_ctrl, evo_time, opts);
-    result.final_fid_err = evaluate_fid_err(fine, result.final_amps);
+    result.final_fid_err = cp.fid_err(result.final_amps);
     result.iterations = opt.iterations;
     result.evaluations = opt.evaluations;
     result.reason = opt.reason;

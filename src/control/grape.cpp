@@ -3,371 +3,31 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
 #include "contracts/matrix_checks.hpp"
-#include "linalg/expm.hpp"
+#include "control/control_problem.hpp"
 #include "obs/obs.hpp"
-
-#ifdef QOC_HAVE_OPENMP
-#include <omp.h>
-#endif
 
 namespace qoc::control {
 
-namespace {
-
-using linalg::cplx;
-constexpr cplx kI{0.0, 1.0};
-
-inline std::size_t max_threads() {
-#ifdef QOC_HAVE_OPENMP
-    return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
-#else
-    return 1;
-#endif
-}
-
-inline std::size_t thread_id() {
-#ifdef QOC_HAVE_OPENMP
-    return static_cast<std::size_t>(omp_get_thread_num());
-#else
-    return 0;
-#endif
-}
-
-/// Shared machinery for closed/open GRAPE objective evaluation.
-class PwcEvaluator {
-public:
-    PwcEvaluator(const GrapeProblem& problem, bool open_system)
-        : prob_(problem), open_(open_system) {
-        n_ctrl_ = prob_.system.ctrls.size();
-        n_ts_ = prob_.n_timeslots;
-        if (n_ts_ == 0) throw std::invalid_argument("GRAPE: n_timeslots must be positive");
-        if (n_ctrl_ == 0) throw std::invalid_argument("GRAPE: need at least one control");
-        if (prob_.evo_time <= 0.0) throw std::invalid_argument("GRAPE: evo_time must be positive");
-        dt_ = prob_.evo_time / static_cast<double>(n_ts_);
-        if (prob_.initial_amps.size() != n_ts_) {
-            throw std::invalid_argument("GRAPE: initial_amps slot count mismatch");
-        }
-        for (const auto& slot : prob_.initial_amps) {
-            if (slot.size() != n_ctrl_) {
-                throw std::invalid_argument("GRAPE: initial_amps control count mismatch");
-            }
-        }
-        if (open_ && prob_.fidelity != FidelityType::kTraceDiff) {
-            throw std::invalid_argument("GRAPE (open): fidelity must be kTraceDiff");
-        }
-        if (!open_ && prob_.fidelity == FidelityType::kTraceDiff) {
-            throw std::invalid_argument("GRAPE (closed): use kPsu or kSu");
-        }
-
-        // Comparison matrix for the trace overlap: plain target, the target
-        // sandwiched into the big space by the subspace isometry, or the
-        // rank-one |psi_t><psi_0| operator for state transfer.
-        if (prob_.state_transfer) {
-            if (open_) {
-                throw std::invalid_argument("GRAPE: state transfer is closed-system only");
-            }
-            if (prob_.fidelity != FidelityType::kPsu) {
-                throw std::invalid_argument("GRAPE: state transfer requires kPsu");
-            }
-            const Mat& psi0 = prob_.state_transfer->psi_initial;
-            const Mat& psit = prob_.state_transfer->psi_target;
-            if (psi0.cols() != 1 || psit.cols() != 1 ||
-                psi0.rows() != prob_.system.drift.rows() || psit.rows() != psi0.rows()) {
-                throw std::invalid_argument("GRAPE: state-transfer ket shape mismatch");
-            }
-            // |<psi_t|U|psi_0>| = |Tr(M^dag U)| with M = |psi_t><psi_0|.
-            overlap_target_ = psit * psi0.adjoint();
-            norm_dim_ = 1.0;
-        } else if (prob_.subspace_isometry) {
-            if (open_) {
-                throw std::invalid_argument("GRAPE: subspace fidelity is closed-system only");
-            }
-            const Mat& p = *prob_.subspace_isometry;
-            if (p.rows() != prob_.system.drift.rows() || p.cols() != prob_.target.rows()) {
-                throw std::invalid_argument("GRAPE: isometry shape mismatch");
-            }
-            overlap_target_ = p * prob_.target * p.adjoint();
-            norm_dim_ = static_cast<double>(prob_.target.rows());
-        } else {
-            if (prob_.target.rows() != prob_.system.drift.rows()) {
-                throw std::invalid_argument("GRAPE: target dimension mismatch");
-            }
-            overlap_target_ = prob_.target;
-            norm_dim_ = static_cast<double>(prob_.target.rows());
-        }
-
-        // Model invariants (checked builds only): Hermitian generators,
-        // unitary gate targets / trace-preserving superoperator targets,
-        // normalized transfer kets.
-        if (contracts::enabled()) {
-            if (!open_) {
-                contracts::check_hermitian(prob_.system.drift, "GRAPE: drift H_0");
-                for (const Mat& c : prob_.system.ctrls) {
-                    contracts::check_hermitian(c, "GRAPE: control H_j");
-                }
-                if (prob_.state_transfer) {
-                    contracts::check_normalized_ket(prob_.state_transfer->psi_initial,
-                                                    "GRAPE: psi_initial");
-                    contracts::check_normalized_ket(prob_.state_transfer->psi_target,
-                                                    "GRAPE: psi_target");
-                } else {
-                    contracts::check_unitary(prob_.target, "GRAPE: target gate");
-                }
-            } else {
-                contracts::check_trace_preserving(prob_.target, "GRAPE: target superop", 1e-6);
-            }
-        }
-
-        // Pre-scale control generators into exponent directions.
-        const cplx scale = open_ ? cplx{dt_, 0.0} : (-kI * dt_);
-        for (const Mat& c : prob_.system.ctrls) exp_dirs_.push_back(scale * c);
-
-        // Shared-Pade for both systems.  Closed-system slot exponents are
-        // anti-Hermitian and *could* take the Daleckii-Krein spectral path
-        // (kAuto), but the optimizer trajectory is chaotic in the last few
-        // digits: switching the arithmetic shifts converged design errors at
-        // the ~1e-6 level on the CX benchmark.  Pade keeps the roundoff
-        // profile of the historical augmented-block gradients (design
-        // fidelities reproduce to <= 1e-9) while still getting the
-        // shared-intermediate speedup; the spectral path stays available to
-        // propagator builders, where no optimizer feeds back on the result.
-        method_ = linalg::ExpmMethod::kPade;
-    }
-
-    std::size_t n_params() const { return n_ts_ * n_ctrl_; }
-    std::size_t n_ctrl() const { return n_ctrl_; }
-    std::size_t n_ts() const { return n_ts_; }
-    double dt() const { return dt_; }
-
-    ControlAmplitudes unflatten(const std::vector<double>& x) const {
-        ControlAmplitudes amps(n_ts_, std::vector<double>(n_ctrl_));
-        for (std::size_t k = 0; k < n_ts_; ++k)
-            for (std::size_t j = 0; j < n_ctrl_; ++j) amps[k][j] = x[k * n_ctrl_ + j];
-        return amps;
-    }
-
-    std::vector<double> flatten(const ControlAmplitudes& amps) const {
-        std::vector<double> x(n_params());
-        for (std::size_t k = 0; k < n_ts_; ++k)
-            for (std::size_t j = 0; j < n_ctrl_; ++j) x[k * n_ctrl_ + j] = amps[k][j];
-        return x;
-    }
-
-    /// Slot exponent `scale * (drift + sum u_j ctrl_j)`, written into `out`
-    /// without allocating (on shape reuse).  `amps` points at `n_ctrl_`
-    /// contiguous amplitudes.
-    void slot_exponent_into(const double* amps, Mat& out) const {
-        out = prob_.system.drift;
-        for (std::size_t j = 0; j < n_ctrl_; ++j) {
-            linalg::add_scaled(out, cplx{amps[j], 0.0}, prob_.system.ctrls[j]);
-        }
-        out *= open_ ? cplx{dt_, 0.0} : (-kI * dt_);
-    }
-
-    /// Slot exponent `scale * (drift + sum u_j ctrl_j)`.
-    Mat slot_exponent(const std::vector<double>& amps) const {
-        Mat out;
-        slot_exponent_into(amps.data(), out);
-        return out;
-    }
-
-    /// Final evolution operator for an amplitude table.
-    Mat evolution(const ControlAmplitudes& amps) const {
-        ensure_scratch(1);
-        EvalScratch& sc = scratch_[0];
-        Mat total = Mat::identity(prob_.system.drift.rows());
-        for (std::size_t k = 0; k < n_ts_; ++k) {
-            slot_exponent_into(amps[k].data(), sc.gen);
-            linalg::expm_into(sc.gen, sc.prop, sc.ws, method_);
-            linalg::gemm_into(sc.prop, total, sc.tmp);
-            std::swap(total, sc.tmp);
-        }
-        return total;
-    }
-
-    /// Fidelity error of a final evolution operator.
-    double fid_err_of(const Mat& evo) const {
-        switch (prob_.fidelity) {
-            case FidelityType::kPsu: {
-                const cplx g = linalg::hs_inner(overlap_target_, evo);
-                return 1.0 - std::norm(g) / (norm_dim_ * norm_dim_);
-            }
-            case FidelityType::kSu: {
-                const cplx g = linalg::hs_inner(overlap_target_, evo);
-                return 1.0 - g.real() / norm_dim_;
-            }
-            case FidelityType::kTraceDiff: {
-                const Mat diff = prob_.target - evo;
-                const double fro = diff.frobenius_norm();
-                return 0.5 * fro * fro / static_cast<double>(evo.rows());
-            }
-        }
-        return 1.0;
-    }
-
-    /// Full objective: fidelity error and its exact gradient.
-    ///
-    /// Zero-alloc contract: per-slot propagators, Frechet derivatives,
-    /// partial products and all expm intermediates live in evaluator-owned
-    /// workspaces (one per OpenMP thread) that are reused across the
-    /// thousands of L-BFGS-B evaluations; after the first call at a given
-    /// problem shape the hot loop performs no heap allocation.  Results are
-    /// bit-identical for any thread count: every slot's computation is
-    /// independent and writes to disjoint storage.
-    double objective(const std::vector<double>& x, std::vector<double>& grad) const {
-        obs::Span span("grape.objective");
-        ensure_scratch(max_threads());
-        props_.resize(n_ts_);
-        dprops_.resize(n_ts_ * n_ctrl_);
-
-        // Per-slot propagators and their control derivatives: e^A and every
-        // L(A, E_j) from ONE shared-intermediate call per slot (the old code
-        // paid one augmented 2Nx2N expm per control and threw away all but
-        // the first propagator).
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-        // Signed induction variable: MSVC's OpenMP rejects unsigned ones.
-        for (std::int64_t ki = 0; ki < static_cast<std::int64_t>(n_ts_); ++ki) {
-            const std::size_t k = static_cast<std::size_t>(ki);
-            EvalScratch& sc = scratch_[thread_id()];
-            slot_exponent_into(&x[k * n_ctrl_], sc.gen);
-            linalg::expm_frechet_multi(sc.gen, exp_dirs_.data(), n_ctrl_, props_[k],
-                                       &dprops_[k * n_ctrl_], sc.ws, method_);
-        }
-
-        // Forward partial products fwd[k] = P_k ... P_0 and backward
-        // products bwd[k] = P_{N-1} ... P_{k+1}, into reused storage.
-        fwd_.resize(n_ts_);
-        bwd_.resize(n_ts_);
-        fwd_[0] = props_[0];
-        for (std::size_t k = 1; k < n_ts_; ++k) linalg::gemm_into(props_[k], fwd_[k - 1], fwd_[k]);
-        const std::size_t dim = prob_.system.drift.rows();
-        bwd_[n_ts_ - 1].resize(dim, dim);
-        for (std::size_t i = 0; i < dim; ++i) bwd_[n_ts_ - 1](i, i) = cplx{1.0, 0.0};
-        for (std::size_t k = n_ts_ - 1; k-- > 0;) {
-            linalg::gemm_into(bwd_[k + 1], props_[k + 1], bwd_[k]);
-        }
-
-        const Mat& evo = fwd_.back();
-        const double err = fid_err_of(evo);
-
-        // Cost-side matrix C such that d(val)/du = Tr((fwd_{k-1} C bwd_k) dP).
-        cplx g_overlap{0.0, 0.0};
-        if (prob_.fidelity == FidelityType::kTraceDiff) {
-            c_adj_.resize(dim, dim);
-            for (std::size_t i = 0; i < dim; ++i)
-                for (std::size_t j = 0; j < dim; ++j)
-                    c_adj_(j, i) = std::conj(prob_.target(i, j) - evo(i, j));
-        } else {
-            g_overlap = linalg::hs_inner(overlap_target_, evo);
-            c_adj_.resize(overlap_target_.cols(), overlap_target_.rows());
-            for (std::size_t i = 0; i < overlap_target_.rows(); ++i)
-                for (std::size_t j = 0; j < overlap_target_.cols(); ++j)
-                    c_adj_(j, i) = std::conj(overlap_target_(i, j));
-        }
-
-        grad.assign(n_params(), 0.0);
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-        for (std::int64_t ki = 0; ki < static_cast<std::int64_t>(n_ts_); ++ki) {
-            const std::size_t k = static_cast<std::size_t>(ki);
-            EvalScratch& sc = scratch_[thread_id()];
-            // R_k = fwd_{k-1} * C * bwd_k  (so Tr(C bwd dP fwd) = Tr(R dP)).
-            linalg::gemm_into(c_adj_, bwd_[k], sc.tmp);
-            const Mat* r = &sc.tmp;
-            if (k > 0) {
-                linalg::gemm_into(fwd_[k - 1], sc.tmp, sc.prop);
-                r = &sc.prop;
-            }
-            for (std::size_t j = 0; j < n_ctrl_; ++j) {
-                const cplx dg = linalg::trace_of_product(*r, dprops_[k * n_ctrl_ + j]);
-                double derr = 0.0;
-                switch (prob_.fidelity) {
-                    case FidelityType::kPsu:
-                        derr = -2.0 * (std::conj(g_overlap) * dg).real() /
-                               (norm_dim_ * norm_dim_);
-                        break;
-                    case FidelityType::kSu:
-                        derr = -dg.real() / norm_dim_;
-                        break;
-                    case FidelityType::kTraceDiff:
-                        derr = -dg.real() / static_cast<double>(dim);
-                        break;
-                }
-                grad[k * n_ctrl_ + j] = derr;
-            }
-        }
-        double total = err;
-        if (prob_.energy_penalty > 0.0) {
-            const double w = prob_.energy_penalty / static_cast<double>(n_params());
-            double penalty = 0.0;
-            for (std::size_t i = 0; i < n_params(); ++i) {
-                penalty += w * x[i] * x[i];
-                grad[i] += 2.0 * w * x[i];
-            }
-            total = err + penalty;
-        }
-        contracts::check_finite(total, "GRAPE objective: cost");
-        contracts::check_all_finite(grad, "GRAPE objective: gradient");
-        return total;
-    }
-
-private:
-    /// Per-thread scratch: the expm engine workspace plus the slot/gradient
-    /// temporaries.  Shapes stabilize after the first objective call, so
-    /// reuse is allocation-free.
-    struct EvalScratch {
-        linalg::ExpmWorkspace ws;
-        Mat gen, prop, tmp;
-    };
-
-    void ensure_scratch(std::size_t n_threads) const {
-        if (scratch_.size() < n_threads) scratch_.resize(n_threads);
-    }
-
-    const GrapeProblem& prob_;
-    bool open_;
-    std::size_t n_ctrl_ = 0;
-    std::size_t n_ts_ = 0;
-    double dt_ = 0.0;
-    double norm_dim_ = 1.0;
-    Mat overlap_target_;
-    std::vector<Mat> exp_dirs_;
-    linalg::ExpmMethod method_ = linalg::ExpmMethod::kAuto;
-
-    // Reusable evaluation workspace (mutable: objective() is logically
-    // const; these caches never change observable results).
-    mutable std::vector<EvalScratch> scratch_;
-    mutable std::vector<Mat> props_;   ///< per-slot propagators
-    mutable std::vector<Mat> dprops_;  ///< [slot * n_ctrl + ctrl] Frechet derivatives
-    mutable std::vector<Mat> fwd_, bwd_;
-    mutable Mat c_adj_;
-};
-
-GrapeResult run_lbfgsb(const GrapeProblem& problem, bool open_system,
-                       const optim::LbfgsBOptions& opts_in) {
-    PwcEvaluator eval(problem, open_system);
+GrapeResult grape_optimize(const ControlProblem& cp, const optim::LbfgsBOptions& opts_in) {
+    const GrapeProblem& problem = cp.problem();
 
     GrapeResult result;
     result.initial_amps = problem.initial_amps;
-    result.initial_fid_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
+    result.initial_fid_err = cp.fid_err(problem.initial_amps);
 
     optim::Bounds bounds =
-        optim::Bounds::uniform(eval.n_params(), problem.amp_lower, problem.amp_upper);
+        optim::Bounds::uniform(cp.n_params(), problem.amp_lower, problem.amp_upper);
     if (!problem.amp_lower_per_ctrl.empty() || !problem.amp_upper_per_ctrl.empty()) {
         const std::size_t n_ctrl = problem.system.ctrls.size();
         if (problem.amp_lower_per_ctrl.size() != n_ctrl ||
             problem.amp_upper_per_ctrl.size() != n_ctrl) {
             throw std::invalid_argument("GRAPE: per-control bounds size mismatch");
         }
-        for (std::size_t k = 0; k < eval.n_ts(); ++k) {
+        for (std::size_t k = 0; k < cp.n_ts(); ++k) {
             for (std::size_t j = 0; j < n_ctrl; ++j) {
                 bounds.lower[k * n_ctrl + j] = problem.amp_lower_per_ctrl[j];
                 bounds.upper[k * n_ctrl + j] = problem.amp_upper_per_ctrl[j];
@@ -384,60 +44,51 @@ GrapeResult run_lbfgsb(const GrapeProblem& problem, bool open_system,
                                           "GRAPE: PWC amplitude iterate", 1e-10);
             }
         }
-        return eval.objective(x, g);
+        return cp.objective(x, g);
     };
 
     optim::LbfgsBOptions opts = opts_in;
     auto user_iter_cb = opts.iter_callback;
-#pragma GCC diagnostic push  // fold deprecated `callback` users into iter_callback
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    auto user_cb = opts.callback;
-    opts.callback = nullptr;  // legacy shim folded into iter_callback below
-#pragma GCC diagnostic pop
     opts.iter_callback = [&](const optim::IterationRecord& rec) {
         result.fid_err_history.push_back(rec.cost);
         result.iteration_records.push_back(rec);
         if (user_iter_cb) user_iter_cb(rec);
-        if (user_cb) user_cb(rec.iteration, rec.cost, rec.grad_norm);
     };
 
     const optim::OptimResult opt =
-        optim::lbfgsb_minimize(obj, eval.flatten(problem.initial_amps), bounds, opts);
+        optim::lbfgsb_minimize(obj, cp.flatten(problem.initial_amps), bounds, opts);
 
-    result.final_amps = eval.unflatten(opt.x);
-    result.final_evolution = eval.evolution(result.final_amps);
-    result.final_fid_err = eval.fid_err_of(result.final_evolution);
+    result.final_amps = cp.unflatten(opt.x);
+    result.final_evolution = cp.evolution(result.final_amps);
+    result.final_fid_err = cp.fid_err_of(result.final_evolution);
     result.iterations = opt.iterations;
     result.evaluations = opt.evaluations;
     result.reason = opt.reason;
     return result;
 }
 
-}  // namespace
-
 GrapeResult grape_unitary(const GrapeProblem& problem, const optim::LbfgsBOptions& opts) {
-    return run_lbfgsb(problem, /*open_system=*/false, opts);
+    return grape_optimize(ControlProblem(problem, /*open_system=*/false), opts);
 }
 
 GrapeResult grape_lindblad(const GrapeProblem& problem, const optim::LbfgsBOptions& opts) {
-    return run_lbfgsb(problem, /*open_system=*/true, opts);
+    return grape_optimize(ControlProblem(problem, /*open_system=*/true), opts);
 }
 
-GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_rate,
+GrapeResult grape_gradient_descent(const ControlProblem& cp, double learning_rate,
                                    int iterations) {
-    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
-    PwcEvaluator eval(problem, open_system);
+    const GrapeProblem& problem = cp.problem();
 
     GrapeResult result;
     result.initial_amps = problem.initial_amps;
 
-    std::vector<double> x = eval.flatten(problem.initial_amps);
+    std::vector<double> x = cp.flatten(problem.initial_amps);
     std::vector<double> grad;
     double lr = learning_rate;
     double prev_err = 0.0;
     const auto t_start = std::chrono::steady_clock::now();
     for (int it = 0; it < iterations; ++it) {
-        const double err = eval.objective(x, grad);
+        const double err = cp.objective(x, grad);
         if (it == 0) {
             // The first objective call evaluates the unmodified amplitudes,
             // so its value *is* the initial fidelity error; a separate
@@ -470,14 +121,19 @@ GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_
         ++result.evaluations;
     }
     if (iterations <= 0) {
-        result.initial_fid_err = eval.fid_err_of(eval.evolution(problem.initial_amps));
+        result.initial_fid_err = cp.fid_err(problem.initial_amps);
     }
     result.iterations = iterations;
-    result.final_amps = eval.unflatten(x);
-    result.final_evolution = eval.evolution(result.final_amps);
-    result.final_fid_err = eval.fid_err_of(result.final_evolution);
+    result.final_amps = cp.unflatten(x);
+    result.final_evolution = cp.evolution(result.final_amps);
+    result.final_fid_err = cp.fid_err_of(result.final_evolution);
     result.reason = optim::StopReason::kMaxIterations;
     return result;
+}
+
+GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_rate,
+                                   int iterations) {
+    return grape_gradient_descent(ControlProblem(problem), learning_rate, iterations);
 }
 
 RobustGrapeResult grape_robust(const GrapeProblem& problem,
@@ -494,14 +150,13 @@ RobustGrapeResult grape_robust(const GrapeProblem& problem,
     for (double w : weights) wsum += w;
     if (wsum <= 0.0) throw std::invalid_argument("grape_robust: weights must sum > 0");
 
-    // One problem (and evaluator) per ensemble member; they share the
-    // amplitude table.
-    std::vector<GrapeProblem> member_problems(ensemble_drifts.size(), problem);
-    std::vector<std::unique_ptr<PwcEvaluator>> evals;
+    // One evaluator per ensemble member; they share the amplitude table.
+    std::vector<std::unique_ptr<ControlProblem>> evals;
     for (std::size_t i = 0; i < ensemble_drifts.size(); ++i) {
-        member_problems[i].system.drift = problem.system.drift + ensemble_drifts[i];
-        member_problems[i].energy_penalty = 0.0;  // applied once, below
-        evals.push_back(std::make_unique<PwcEvaluator>(member_problems[i], false));
+        GrapeProblem member = problem;
+        member.system.drift = problem.system.drift + ensemble_drifts[i];
+        member.energy_penalty = 0.0;  // applied once, below
+        evals.push_back(std::make_unique<ControlProblem>(member, false));
     }
 
     RobustGrapeResult result;
@@ -542,11 +197,10 @@ RobustGrapeResult grape_robust(const GrapeProblem& problem,
     result.combined.reason = opt.reason;
     double werr = 0.0, ierr = 0.0;
     for (std::size_t i = 0; i < evals.size(); ++i) {
-        const double e = evals[i]->fid_err_of(evals[i]->evolution(result.combined.final_amps));
+        const double e = evals[i]->fid_err(result.combined.final_amps);
         result.member_errors.push_back(e);
         werr += weights[i] / wsum * e;
-        ierr += weights[i] / wsum *
-                evals[i]->fid_err_of(evals[i]->evolution(problem.initial_amps));
+        ierr += weights[i] / wsum * evals[i]->fid_err(problem.initial_amps);
     }
     result.combined.initial_fid_err = ierr;
     result.combined.final_fid_err = werr;
@@ -555,28 +209,23 @@ RobustGrapeResult grape_robust(const GrapeProblem& problem,
 }
 
 double evaluate_fid_err(const GrapeProblem& problem, const ControlAmplitudes& amps) {
-    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
     GrapeProblem p = problem;
     p.initial_amps = amps;
-    PwcEvaluator eval(p, open_system);
-    return eval.fid_err_of(eval.evolution(amps));
+    return ControlProblem(p).fid_err(amps);
 }
 
 double evaluate_fid_err_and_grad(const GrapeProblem& problem, const ControlAmplitudes& amps,
                                  std::vector<double>& grad) {
-    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
     GrapeProblem p = problem;
     p.initial_amps = amps;
-    PwcEvaluator eval(p, open_system);
-    return eval.objective(eval.flatten(amps), grad);
+    const ControlProblem cp(p);
+    return cp.objective(cp.flatten(amps), grad);
 }
 
 Mat evaluate_evolution(const GrapeProblem& problem, const ControlAmplitudes& amps) {
-    const bool open_system = problem.fidelity == FidelityType::kTraceDiff;
     GrapeProblem p = problem;
     p.initial_amps = amps;
-    PwcEvaluator eval(p, open_system);
-    return eval.evolution(amps);
+    return ControlProblem(p).evolution(amps);
 }
 
 }  // namespace qoc::control

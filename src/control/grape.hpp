@@ -87,6 +87,13 @@ struct GrapeResult {
     std::vector<optim::IterationRecord> iteration_records;
 };
 
+class ControlProblem;  // the shared PWC evaluator (control_problem.hpp)
+
+/// L-BFGS-B GRAPE over an already-constructed evaluator.  The GrapeProblem
+/// entry points below are thin wrappers over this; front ends that reuse an
+/// evaluator (pulse_optim, the design pipeline) call it directly.
+GrapeResult grape_optimize(const ControlProblem& cp, const optim::LbfgsBOptions& opts = {});
+
 /// Closed-system GRAPE with L-BFGS-B (the paper's method).
 GrapeResult grape_unitary(const GrapeProblem& problem, const optim::LbfgsBOptions& opts = {});
 
@@ -98,6 +105,10 @@ GrapeResult grape_lindblad(const GrapeProblem& problem, const optim::LbfgsBOptio
 /// learning rate (for the convergence-comparison ablation; the paper notes
 /// plain GRAPE "converges very slowly").
 GrapeResult grape_gradient_descent(const GrapeProblem& problem, double learning_rate,
+                                   int iterations);
+
+/// Gradient-descent GRAPE over an already-constructed evaluator.
+GrapeResult grape_gradient_descent(const ControlProblem& cp, double learning_rate,
                                    int iterations);
 
 /// Result of a robust (ensemble) optimization: the shared pulse plus its

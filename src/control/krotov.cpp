@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "contracts/matrix_checks.hpp"
+#include "control/control_problem.hpp"
 #include "linalg/expm.hpp"
 #include "obs/obs.hpp"
 
@@ -17,51 +18,31 @@ using linalg::Mat;
 constexpr cplx kI{0.0, 1.0};
 }  // namespace
 
-GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opts) {
-    if (problem.fidelity == FidelityType::kTraceDiff) {
+GrapeResult krotov_unitary(const ControlProblem& cp, const KrotovOptions& opts) {
+    const GrapeProblem& problem = cp.problem();
+    if (cp.open_system() || problem.fidelity == FidelityType::kTraceDiff) {
         throw std::invalid_argument("krotov_unitary: closed-system only");
     }
     if (problem.state_transfer) {
         throw std::invalid_argument("krotov_unitary: use the gate functional");
     }
     if (opts.lambda <= 0.0) throw std::invalid_argument("krotov_unitary: lambda must be > 0");
-    const std::size_t n_ts = problem.n_timeslots;
-    const std::size_t n_ctrl = problem.system.ctrls.size();
-    if (n_ts == 0 || n_ctrl == 0 || problem.evo_time <= 0.0) {
-        throw std::invalid_argument("krotov_unitary: malformed problem");
-    }
-    if (problem.initial_amps.size() != n_ts) {
-        throw std::invalid_argument("krotov_unitary: initial_amps slot count mismatch");
-    }
-    const double dt = problem.evo_time / static_cast<double>(n_ts);
+    const std::size_t n_ts = cp.n_ts();
+    const std::size_t n_ctrl = cp.n_ctrl();
+    const double dt = cp.dt();
     const std::size_t dim = problem.system.drift.rows();
 
-    // Same model invariants as the GRAPE evaluator (closed system).
-    if (contracts::enabled()) {
-        contracts::check_hermitian(problem.system.drift, "Krotov: drift H_0");
-        for (const Mat& c : problem.system.ctrls) {
-            contracts::check_hermitian(c, "Krotov: control H_j");
-        }
-        contracts::check_unitary(problem.target, "Krotov: target gate");
-    }
-
-    // Overlap matrix and normalization (same conventions as GRAPE).
-    Mat overlap;
-    double norm_dim;
-    if (problem.subspace_isometry) {
-        const Mat& p = *problem.subspace_isometry;
-        overlap = p * problem.target * p.adjoint();
-        norm_dim = static_cast<double>(problem.target.rows());
-    } else {
-        overlap = problem.target;
-        norm_dim = static_cast<double>(problem.target.rows());
-    }
+    // Overlap matrix and normalization come from the shared evaluator (same
+    // conventions as GRAPE: plain target or isometry-sandwiched target).
+    const Mat& overlap = cp.overlap_target();
+    const double norm_dim = cp.norm_dim();
 
     // One workspace threads through every exponential below: Krotov's
     // sequential sweeps exponentiate n_ts same-size generators per
     // iteration, and the shared scratch makes each one allocation-free
     // (kAuto dispatches Hermitian-generator problems to the exact spectral
-    // path).
+    // path -- deliberately NOT the evaluator's Pade pin, which exists for
+    // GRAPE's gradient-feedback loop only).
     linalg::ExpmWorkspace ws;
     Mat gen, prop_buf, tmp;
     auto slot_propagator_into = [&](const std::vector<double>& amps, Mat& out) {
@@ -177,6 +158,38 @@ GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opt
     result.final_evolution = evolution(amps);
     result.final_fid_err = fid_err(result.final_evolution);
     return result;
+}
+
+GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& opts) {
+    // Historical error messages for specs the shared evaluator would reject
+    // with its GRAPE-flavored wording.
+    if (problem.fidelity == FidelityType::kTraceDiff) {
+        throw std::invalid_argument("krotov_unitary: closed-system only");
+    }
+    if (problem.state_transfer) {
+        throw std::invalid_argument("krotov_unitary: use the gate functional");
+    }
+    if (opts.lambda <= 0.0) throw std::invalid_argument("krotov_unitary: lambda must be > 0");
+    const std::size_t n_ts = problem.n_timeslots;
+    const std::size_t n_ctrl = problem.system.ctrls.size();
+    if (n_ts == 0 || n_ctrl == 0 || problem.evo_time <= 0.0) {
+        throw std::invalid_argument("krotov_unitary: malformed problem");
+    }
+    if (problem.initial_amps.size() != n_ts) {
+        throw std::invalid_argument("krotov_unitary: initial_amps slot count mismatch");
+    }
+
+    // Same model invariants as the GRAPE evaluator (closed system), with
+    // Krotov-labeled diagnostics.
+    if (contracts::enabled()) {
+        contracts::check_hermitian(problem.system.drift, "Krotov: drift H_0");
+        for (const Mat& c : problem.system.ctrls) {
+            contracts::check_hermitian(c, "Krotov: control H_j");
+        }
+        contracts::check_unitary(problem.target, "Krotov: target gate");
+    }
+
+    return krotov_unitary(ControlProblem(problem, /*open_system=*/false), opts);
 }
 
 }  // namespace qoc::control

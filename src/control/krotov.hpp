@@ -34,4 +34,7 @@ struct KrotovOptions {
 /// plug into the same comparisons.
 GrapeResult krotov_unitary(const GrapeProblem& problem, const KrotovOptions& options = {});
 
+/// Same, over an already-constructed shared evaluator (closed-system only).
+GrapeResult krotov_unitary(const ControlProblem& cp, const KrotovOptions& options = {});
+
 }  // namespace qoc::control

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "control/control_problem.hpp"
 #include "control/crab.hpp"
+#include "control/goat.hpp"
+#include "control/krotov.hpp"
 #include "control/pulse_shapes.hpp"
 #include "quantum/superop.hpp"
 
@@ -122,36 +125,32 @@ PulseOptimResult pulse_optim(const PulseOptimSpec& spec) {
     result.open_system = open_system;
     result.initial_amps = prob.initial_amps;
 
+    // ONE evaluator; every optimizer front end below dispatches through it.
+    const ControlProblem cp(prob, open_system);
+
+    auto adopt = [&](const GrapeResult& g) {
+        result.initial_fid_err = g.initial_fid_err;
+        result.final_amps = g.final_amps;
+        result.final_fid_err = g.final_fid_err;
+        result.final_evolution = g.final_evolution;
+        result.iterations = g.iterations;
+        result.evaluations = g.evaluations;
+        result.reason = g.reason;
+        result.fid_err_history = g.fid_err_history;
+        result.iteration_records = g.iteration_records;
+    };
+
     switch (spec.method) {
         case OptimMethod::kLbfgsB: {
             optim::LbfgsBOptions opts;
             opts.max_iterations = spec.max_iterations;
             opts.max_evaluations = spec.max_evaluations;
             opts.target_f = spec.target_fid_err;
-            const GrapeResult g =
-                open_system ? grape_lindblad(prob, opts) : grape_unitary(prob, opts);
-            result.initial_fid_err = g.initial_fid_err;
-            result.final_amps = g.final_amps;
-            result.final_fid_err = g.final_fid_err;
-            result.final_evolution = g.final_evolution;
-            result.iterations = g.iterations;
-            result.evaluations = g.evaluations;
-            result.reason = g.reason;
-            result.fid_err_history = g.fid_err_history;
-            result.iteration_records = g.iteration_records;
+            adopt(grape_optimize(cp, opts));
             break;
         }
         case OptimMethod::kGradientDescent: {
-            const GrapeResult g = grape_gradient_descent(prob, 0.1, spec.max_iterations);
-            result.initial_fid_err = g.initial_fid_err;
-            result.final_amps = g.final_amps;
-            result.final_fid_err = g.final_fid_err;
-            result.final_evolution = g.final_evolution;
-            result.iterations = g.iterations;
-            result.evaluations = g.evaluations;
-            result.reason = g.reason;
-            result.fid_err_history = g.fid_err_history;
-            result.iteration_records = g.iteration_records;
+            adopt(grape_gradient_descent(cp, 0.1, spec.max_iterations));
             break;
         }
         case OptimMethod::kCrab: {
@@ -159,15 +158,43 @@ PulseOptimResult pulse_optim(const PulseOptimSpec& spec) {
             copts.max_evaluations = spec.max_evaluations;
             copts.max_iterations = spec.max_iterations;
             copts.seed = spec.random_seed;
-            const CrabResult c = crab_optimize(prob, copts);
+            const CrabResult c = crab_optimize(cp, copts);
             result.initial_fid_err = c.initial_fid_err;
             result.final_amps = c.final_amps;
             result.final_fid_err = c.final_fid_err;
-            result.final_evolution = evaluate_evolution(prob, c.final_amps);
+            result.final_evolution = cp.evolution(c.final_amps);
             result.evaluations = c.evaluations;
             result.reason = c.reason;
             result.fid_err_history = c.fid_err_history;
             result.iteration_records = c.iteration_records;
+            break;
+        }
+        case OptimMethod::kKrotov: {
+            if (open_system) {
+                throw std::invalid_argument("pulse_optim: Krotov is closed-system only");
+            }
+            KrotovOptions kopts;
+            kopts.max_iterations = spec.max_iterations;
+            kopts.target_fid_err = spec.target_fid_err;
+            adopt(krotov_unitary(cp, kopts));
+            break;
+        }
+        case OptimMethod::kGoat: {
+            if (open_system) {
+                throw std::invalid_argument("pulse_optim: GOAT is closed-system only");
+            }
+            GoatOptions gopts;
+            gopts.n_fine = spec.n_timeslots;  // keep the spec's PWC grid
+            gopts.max_iterations = spec.max_iterations;
+            gopts.target_fid_err = spec.target_fid_err;
+            const GoatResult g = goat_optimize(prob, gopts);
+            result.initial_fid_err = g.initial_fid_err;
+            result.final_amps = g.final_amps;
+            result.final_fid_err = g.final_fid_err;
+            result.final_evolution = cp.evolution(g.final_amps);
+            result.iterations = g.iterations;
+            result.evaluations = g.evaluations;
+            result.reason = g.reason;
             break;
         }
     }

@@ -30,11 +30,14 @@ enum class InitialPulseType {
     kZero,           ///< all zeros
 };
 
-/// Which numerical optimizer drives the pulse search.
+/// Which numerical optimizer drives the pulse search.  All methods
+/// dispatch through the same `control::ControlProblem` evaluator.
 enum class OptimMethod {
     kLbfgsB,           ///< second-order GRAPE (the paper's choice)
     kGradientDescent,  ///< first-order GRAPE baseline
     kCrab,             ///< CRAB + Nelder-Mead baseline
+    kKrotov,           ///< Krotov's sequential monotone update (closed only)
+    kGoat,             ///< GOAT analytic Fourier controls (closed only)
 };
 
 struct PulseOptimSpec {

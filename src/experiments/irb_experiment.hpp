@@ -28,13 +28,20 @@ struct GateComparison {
 /// The ideal action is looked up in the Clifford group (all three are
 /// Cliffords).  H defaults to the rz-sx-rz decomposition when the backend
 /// has no native H schedule, exactly like the hardware.
+///
+/// Thin wrapper over `DesignPipeline::characterize_1q` (the pipeline shares
+/// one reference RB curve between the custom and default runs, which is
+/// byte-identical to measuring it per run).  `group` is retained for source
+/// compatibility; the pipeline's own group is identical by construction.
 GateComparison compare_1q_gate(const PulseExecutor& device,
                                const pulse::InstructionScheduleMap& defaults,
                                const std::string& gate_name, std::size_t qubit,
                                const pulse::Schedule& custom_schedule,
                                const rb::Clifford1Q& group, const rb::RbOptions& options);
 
-/// IRB comparison for CX (custom vs default schedule).
+/// IRB comparison for CX (custom vs default schedule).  Thin wrapper over
+/// `DesignPipeline::characterize_cx`; `c1`/`c2` retained for source
+/// compatibility.
 GateComparison compare_cx_gate(const PulseExecutor& device,
                                const pulse::InstructionScheduleMap& defaults,
                                const pulse::Schedule& custom_schedule,
@@ -61,5 +68,9 @@ device::Counts state_histogram_cx(const PulseExecutor& device,
 linalg::Mat default_gate_superop_1q(const PulseExecutor& device,
                                     const pulse::InstructionScheduleMap& defaults,
                                     const std::string& gate_name, std::size_t qubit);
+
+/// Ideal unitary of a supported 1Q gate name ("x", "sx", "h"); throws
+/// `std::invalid_argument` otherwise.
+linalg::Mat ideal_1q_gate(const std::string& gate_name);
 
 }  // namespace qoc::experiments

@@ -50,6 +50,9 @@ Registry& reg() {
 
 thread_local ThreadSlot* t_slot = nullptr;
 
+/// Process-wide span id allocator (ids are 1-based; 0 means "no span").
+std::atomic<std::uint64_t> g_span_ids{0};
+
 ThreadSlot& slot() {
     if (t_slot == nullptr) {
         Registry& r = reg();
@@ -132,12 +135,15 @@ void write_trace_file(const std::string& path) {
     std::fprintf(f, "{\"traceEvents\":[");
     for (std::size_t i = 0; i < events.size(); ++i) {
         const TraceEvent& e = events[i];
-        // chrome://tracing wants microseconds.
+        // chrome://tracing wants microseconds.  id/parent args let tools
+        // rebuild the logical span tree across task boundaries.
         std::fprintf(f,
                      "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                     "\"pid\":1,\"tid\":%u}",
+                     "\"args\":{\"id\":%llu,\"parent\":%llu},\"pid\":1,\"tid\":%u}",
                      i == 0 ? "" : ",", e.name, static_cast<double>(e.t0_ns) / 1e3,
-                     static_cast<double>(e.dur_ns) / 1e3, e.tid);
+                     static_cast<double>(e.dur_ns) / 1e3,
+                     static_cast<unsigned long long>(e.id),
+                     static_cast<unsigned long long>(e.parent), e.tid);
     }
     std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
     std::fclose(f);
@@ -176,12 +182,17 @@ std::uint64_t now_ns() noexcept {
                                           .count());
 }
 
-void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) noexcept {
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                 std::uint64_t id, std::uint64_t parent) noexcept {
     if (!tracing_enabled()) return;  // disabled (or reset) between ctor and dtor
     ThreadSlot& s = slot();
     const std::uint64_t n = s.ring_count.load(std::memory_order_relaxed);
-    s.ring[n % kRingCapacity] = TraceEvent{name, t0_ns, t1_ns - t0_ns, s.tid};
+    s.ring[n % kRingCapacity] = TraceEvent{name, t0_ns, t1_ns - t0_ns, s.tid, id, parent};
     s.ring_count.store(n + 1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() noexcept {
+    return g_span_ids.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace detail
@@ -312,6 +323,8 @@ void reset_for_testing() {
         s->ring_count.store(0, std::memory_order_relaxed);
     }
     r.epoch = std::chrono::steady_clock::now();
+    g_span_ids.store(0, std::memory_order_relaxed);
+    detail::t_current_span = 0;  // calling thread only; workers restore via RAII
 }
 
 std::vector<TraceEvent> snapshot_trace_events() {

@@ -108,12 +108,43 @@ struct TraceEvent {
     std::uint64_t t0_ns;    ///< begin, ns since process trace epoch
     std::uint64_t dur_ns;   ///< duration in ns
     std::uint32_t tid;      ///< obs thread index (registration order)
+    std::uint64_t id;       ///< span id (1-based; 0 = none)
+    std::uint64_t parent;   ///< enclosing span's id, 0 for roots
 };
 
 namespace detail {
 std::uint64_t now_ns() noexcept;
-void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) noexcept;
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                 std::uint64_t id, std::uint64_t parent) noexcept;
+std::uint64_t next_span_id() noexcept;
+
+/// The innermost live span of this thread (maintained by Span ctor/dtor and
+/// overridden across task boundaries by TaskParentScope).
+inline thread_local std::uint64_t t_current_span = 0;
 }  // namespace detail
+
+/// Id of the innermost live span on this thread (0 = none / tracing off).
+/// `qoc::runtime` captures this at task submission so spans opened inside a
+/// worker keep their logical parent.
+inline std::uint64_t current_span() noexcept { return detail::t_current_span; }
+
+/// Installs a foreign span id as this thread's current span for a scope.
+/// Used by the task runtime to carry the SUBMITTER's span across the task
+/// boundary: spans opened inside the task parent to the submitting span,
+/// not to whatever the worker happened to be running before.
+class TaskParentScope {
+public:
+    explicit TaskParentScope(std::uint64_t parent) noexcept
+        : prev_(detail::t_current_span) {
+        detail::t_current_span = parent;
+    }
+    ~TaskParentScope() { detail::t_current_span = prev_; }
+    TaskParentScope(const TaskParentScope&) = delete;
+    TaskParentScope& operator=(const TaskParentScope&) = delete;
+
+private:
+    std::uint64_t prev_;
+};
 
 /// RAII span.  `name` must be a string literal (stored by pointer).  When
 /// tracing is disabled, construction is one relaxed load + branch and the
@@ -124,10 +155,16 @@ public:
         if ((g_obs_state.load(std::memory_order_relaxed) & kTraceBit) != 0) {
             name_ = name;
             t0_ = detail::now_ns();
+            parent_ = detail::t_current_span;
+            id_ = detail::next_span_id();
+            detail::t_current_span = id_;
         }
     }
     ~Span() {
-        if (name_ != nullptr) detail::record_span(name_, t0_, detail::now_ns());
+        if (name_ != nullptr) {
+            detail::t_current_span = parent_;
+            detail::record_span(name_, t0_, detail::now_ns(), id_, parent_);
+        }
     }
     Span(const Span&) = delete;
     Span& operator=(const Span&) = delete;
@@ -135,6 +172,8 @@ public:
 private:
     const char* name_ = nullptr;
     std::uint64_t t0_ = 0;
+    std::uint64_t id_ = 0;
+    std::uint64_t parent_ = 0;
 };
 
 // --- telemetry records ---------------------------------------------------

@@ -467,9 +467,7 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
 
     for (res.iterations = 0; res.iterations < opts_.max_iterations; ++res.iterations) {
         res.grad_norm = projected_gradient_norm(res.x, g, bounds);
-#pragma GCC diagnostic push  // the shim must keep serving deprecated `callback` users
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-        if (opts_.iter_callback || opts_.callback || obs::telemetry_enabled()) {
+        if (opts_.iter_callback || obs::telemetry_enabled()) {
             IterationRecord rec;
             rec.iteration = res.iterations;
             rec.cost = res.f;
@@ -480,11 +478,9 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
                                   std::chrono::steady_clock::now() - t_start)
                                   .count();
             if (opts_.iter_callback) opts_.iter_callback(rec);
-            if (opts_.callback) opts_.callback(rec.iteration, rec.cost, rec.grad_norm);
             obs::emit_optimizer_iteration("lbfgsb", rec.iteration, rec.cost, rec.grad_norm,
                                           rec.step, rec.n_fun_evals, rec.wall_time_s);
         }
-#pragma GCC diagnostic pop
         if (res.grad_norm <= opts_.pg_tol) {
             res.reason = StopReason::kConverged;
             return res;

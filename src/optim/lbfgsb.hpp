@@ -19,11 +19,6 @@
 namespace qoc::optim {
 
 /// Tuning knobs for LbfgsB.  Defaults mirror SciPy's `fmin_l_bfgs_b`.
-// The pragma region exempts only the struct's implicitly-defaulted special
-// members, which GCC otherwise reports for touching the deprecated field;
-// use sites still get the deprecation diagnostic.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct LbfgsBOptions {
     int memory = 10;            ///< number of (s, y) correction pairs kept
     int max_iterations = 500;
@@ -34,13 +29,7 @@ struct LbfgsBOptions {
     /// Optional typed per-iteration observer; also the data source for the
     /// `qoc::obs` "lbfgsb" telemetry records.
     IterationCallback iter_callback;
-    /// \deprecated Legacy (iteration, f, projected-grad norm) observer.
-    /// Kept so existing callers compile; invoked after `iter_callback` with
-    /// the same iterate.  Prefer `iter_callback`.
-    [[deprecated("use iter_callback (optim::IterationRecord) instead")]]
-    std::function<void(int, double, double)> callback;
 };
-#pragma GCC diagnostic pop
 
 /// Minimizes a smooth objective subject to box constraints.
 class LbfgsB {

@@ -7,6 +7,7 @@
 
 #include "linalg/kron.hpp"
 #include "quantum/gates.hpp"
+#include "runtime/task_pool.hpp"
 
 namespace qoc::rb {
 
@@ -43,16 +44,11 @@ Clifford2Q::Clifford2Q(const Clifford1Q& c1) : c1_(c1) {
 
     // Cache every phase-normalized unitary and hash it for find().  ~3 MB;
     // makes unitary() an indexed read in the RB sequence loop and find()
-    // race-free under OpenMP.
+    // race-free across pool workers.
     unitaries_.resize(kSize);
     key_index_.reserve(kSize);
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(kSize); ++i) {
-        unitaries_[static_cast<std::size_t>(i)] =
-            compute_unitary(static_cast<std::size_t>(i));
-    }
+    runtime::TaskPool::global().parallel_for(
+        0, kSize, [&](std::size_t i) { unitaries_[i] = compute_unitary(i); });
     for (std::size_t i = 0; i < kSize; ++i) {
         contracts::check_unitary(unitaries_[i], "Clifford2Q: group element");
         key_index_.emplace(phase_key(unitaries_[i]), i);

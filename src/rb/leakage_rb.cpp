@@ -5,37 +5,16 @@
 #include <cstdint>
 #include <random>
 
-#ifdef QOC_HAVE_OPENMP
-#include <omp.h>
-#endif
-
 #include "linalg/kron.hpp"
 #include "obs/obs.hpp"
 #include "optim/levmar.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
+#include "runtime/ordered.hpp"
+#include "runtime/task_pool.hpp"
+#include "runtime/workspace_pool.hpp"
 
 namespace qoc::rb {
-
-namespace {
-
-inline std::size_t max_threads() {
-#ifdef QOC_HAVE_OPENMP
-    return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
-#else
-    return 1;
-#endif
-}
-
-inline std::size_t thread_id() {
-#ifdef QOC_HAVE_OPENMP
-    return static_cast<std::size_t>(omp_get_thread_num());
-#else
-    return 0;
-#endif
-}
-
-}  // namespace
 
 LeakageRbResult run_leakage_rb_1q(const PulseExecutor& exec, const GateSet1Q& gates,
                                   const RbOptions& opts) {
@@ -46,22 +25,20 @@ LeakageRbResult run_leakage_rb_1q(const PulseExecutor& exec, const GateSet1Q& ga
     struct Workspace {
         Mat v, v_next;
     };
-    std::vector<Workspace> workspaces(max_threads());
+    runtime::WorkspacePool<Workspace> workspaces;
 
     LeakageRbResult res;
     for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
         const std::size_t m = opts.lengths[li];
-        // Per-seed slots plus a serial sum: an OpenMP reduction's addition
-        // order (and hence the rounded double) depends on the thread count.
+        // Per-seed slots plus a serial ordered sum: a parallel reduction's
+        // addition order (and hence the rounded double) would depend on the
+        // pool size.
         std::vector<double> leaks(opts.seeds_per_length);
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-        for (std::int64_t s = 0; s < static_cast<std::int64_t>(opts.seeds_per_length); ++s) {
-            std::mt19937_64 rng(opts.rng_seed +
-                                104729 * (li * 1000 + static_cast<std::size_t>(s)));
+        runtime::TaskPool::global().parallel_for(0, opts.seeds_per_length, [&](std::size_t s) {
+            std::mt19937_64 rng(opts.rng_seed + 104729 * (li * 1000 + s));
             std::uniform_int_distribution<std::size_t> dist(0, Clifford1Q::kSize - 1);
-            Workspace& w = workspaces[thread_id()];
+            auto lease = workspaces.acquire();
+            Workspace& w = *lease;
             w.v = vec_rho0;
             std::size_t net = group.identity_index();
             for (std::size_t k = 0; k < m; ++k) {
@@ -78,15 +55,12 @@ LeakageRbResult run_leakage_rb_1q(const PulseExecutor& exec, const GateSet1Q& ga
             for (std::size_t lvl = 2; lvl < d; ++lvl) {
                 leak += w.v(lvl * (d + 1), 0).real();
             }
-            leaks[static_cast<std::size_t>(s)] = leak;
+            leaks[s] = leak;
             // Telemetry reports the computational-subspace survival 1 - leak.
-            obs::emit_rb_seed("leakage_rb", m, s, 1.0 - leak);
-        }
-        double mean_leak = 0.0;
-        for (double l : leaks) mean_leak += l;
+            obs::emit_rb_seed("leakage_rb", m, static_cast<std::int64_t>(s), 1.0 - leak);
+        });
         res.lengths.push_back(m);
-        res.leakage_population.push_back(mean_leak /
-                                         static_cast<double>(opts.seeds_per_length));
+        res.leakage_population.push_back(runtime::ordered_mean(leaks));
     }
 
     // Fit p_comp(m) = A lambda^m + (1 - p_inf) where p_comp = 1 - leakage.

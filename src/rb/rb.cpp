@@ -4,46 +4,22 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
 #include <map>
 #include <random>
 #include <stdexcept>
-
-#ifdef QOC_HAVE_OPENMP
-#include <omp.h>
-#endif
 
 #include "linalg/kron.hpp"
 #include "obs/obs.hpp"
 #include "optim/levmar.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
+#include "runtime/ordered.hpp"
+#include "runtime/task_pool.hpp"
+#include "runtime/workspace_pool.hpp"
 
 namespace qoc::rb {
 
 namespace {
-
-inline std::size_t max_threads() {
-#ifdef QOC_HAVE_OPENMP
-    return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
-#else
-    return 1;
-#endif
-}
-
-inline std::size_t thread_id() {
-#ifdef QOC_HAVE_OPENMP
-    return static_cast<std::size_t>(omp_get_thread_num());
-#else
-    return 0;
-#endif
-}
-
-double survival_mean(std::vector<double>& vals) {
-    double m = 0.0;
-    for (double v : vals) m += v;
-    return m / static_cast<double>(vals.size());
-}
 
 double survival_sem(const std::vector<double>& vals, double mean) {
     if (vals.size() < 2) return 0.0;
@@ -136,26 +112,23 @@ RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size
     const Clifford1Q& group = gates.group();
     const Mat vec_rho0 = linalg::vec(exec.ground_state_1q());
 
-    std::vector<SeqWorkspace> workspaces(max_threads());
+    runtime::WorkspacePool<SeqWorkspace> workspaces;
 
     RbCurve curve;
     for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
         const std::size_t m = opts.lengths[li];
         std::vector<double> survivals(opts.seeds_per_length);
 
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-        for (std::int64_t s = 0; s < static_cast<std::int64_t>(opts.seeds_per_length); ++s) {
+        runtime::TaskPool::global().parallel_for(0, opts.seeds_per_length, [&](std::size_t s) {
             // The interleaved experiment reuses the same random Clifford
             // sequences as the reference (standard IRB practice): paired
             // sequences cancel most sampling noise in the alpha ratio.
-            std::mt19937_64 rng(opts.rng_seed +
-                                7919 * (li * 1000 + static_cast<std::size_t>(s)));
+            std::mt19937_64 rng(opts.rng_seed + 7919 * (li * 1000 + s));
             std::uniform_int_distribution<std::size_t> dist(0, Clifford1Q::kSize - 1);
 
             obs::Span span("rb.seq_1q");
-            SeqWorkspace& w = workspaces[thread_id()];
+            auto lease = workspaces.acquire();
+            SeqWorkspace& w = *lease;
             w.v = vec_rho0;
             std::size_t net = group.identity_index();
             for (std::size_t k = 0; k < m; ++k) {
@@ -178,14 +151,13 @@ RbCurve rb_curve_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size
             contracts::check_probability(p0, "RB 1Q: survival probability", 1e-6);
             // Shot sampling.
             std::binomial_distribution<int> shots_dist(opts.shots, std::clamp(p0, 0.0, 1.0));
-            survivals[static_cast<std::size_t>(s)] =
-                static_cast<double>(shots_dist(rng)) / static_cast<double>(opts.shots);
-            obs::emit_rb_seed(interleave_super ? "irb1q" : "rb1q", m, s,
-                              survivals[static_cast<std::size_t>(s)]);
-        }
+            survivals[s] = static_cast<double>(shots_dist(rng)) / static_cast<double>(opts.shots);
+            obs::emit_rb_seed(interleave_super ? "irb1q" : "rb1q", m,
+                              static_cast<std::int64_t>(s), survivals[s]);
+        });
         RbPoint pt;
         pt.length = m;
-        pt.mean_survival = survival_mean(survivals);
+        pt.mean_survival = runtime::ordered_mean(survivals);
         pt.sem = survival_sem(survivals, pt.mean_survival);
         curve.points.push_back(pt);
     }
@@ -200,11 +172,13 @@ RbCurve run_rb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size_t
     return rb_curve_1q(exec, gates, qubit, options, nullptr, 0);
 }
 
-IrbResult run_irb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size_t qubit,
-                     const Mat& interleaved_superop, std::size_t interleaved_clifford,
-                     const RbOptions& options) {
+IrbResult run_irb_1q_with_reference(const PulseExecutor& exec, const GateSet1Q& gates,
+                                    std::size_t qubit, const RbCurve& reference,
+                                    const Mat& interleaved_superop,
+                                    std::size_t interleaved_clifford,
+                                    const RbOptions& options) {
     IrbResult res;
-    res.reference = rb_curve_1q(exec, gates, qubit, options, nullptr, 0);
+    res.reference = reference;
     res.interleaved =
         rb_curve_1q(exec, gates, qubit, options, &interleaved_superop, interleaved_clifford);
     const double ratio = res.interleaved.alpha / res.reference.alpha;
@@ -214,6 +188,14 @@ IrbResult run_irb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::siz
                                  std::pow(res.reference.alpha_err / res.reference.alpha, 2));
     res.gate_error_err = 0.5 * ratio * rel;
     return res;
+}
+
+IrbResult run_irb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::size_t qubit,
+                     const Mat& interleaved_superop, std::size_t interleaved_clifford,
+                     const RbOptions& options) {
+    return run_irb_1q_with_reference(exec, gates, qubit,
+                                     rb_curve_1q(exec, gates, qubit, options, nullptr, 0),
+                                     interleaved_superop, interleaved_clifford, options);
 }
 
 // --- 2Q -----------------------------------------------------------------
@@ -277,12 +259,8 @@ const Mat& GateSet2Q::clifford_superop(std::size_t i) const {
 }
 
 void GateSet2Q::precompute_all() const {
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 64)
-#endif
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(Clifford2Q::kSize); ++i) {
-        clifford_superop(static_cast<std::size_t>(i));
-    }
+    runtime::TaskPool::global().parallel_for(
+        0, Clifford2Q::kSize, [&](std::size_t i) { clifford_superop(i); });
 }
 
 namespace {
@@ -300,23 +278,20 @@ RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbO
     for (std::size_t m : opts.lengths) total_steps += m * opts.seeds_per_length;
     if (total_steps >= 2 * Clifford2Q::kSize) gates.precompute_all();
 
-    std::vector<SeqWorkspace> workspaces(max_threads());
+    runtime::WorkspacePool<SeqWorkspace> workspaces;
 
     RbCurve curve;
     for (std::size_t li = 0; li < opts.lengths.size(); ++li) {
         const std::size_t m = opts.lengths[li];
         std::vector<double> survivals(opts.seeds_per_length);
 
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-        for (std::int64_t s = 0; s < static_cast<std::int64_t>(opts.seeds_per_length); ++s) {
+        runtime::TaskPool::global().parallel_for(0, opts.seeds_per_length, [&](std::size_t s) {
             // Paired sequences with the reference run (see rb_curve_1q).
-            std::mt19937_64 rng(opts.rng_seed +
-                                6271 * (li * 1000 + static_cast<std::size_t>(s)));
+            std::mt19937_64 rng(opts.rng_seed + 6271 * (li * 1000 + s));
 
             obs::Span span("rb.seq_2q");
-            SeqWorkspace& w = workspaces[thread_id()];
+            auto lease = workspaces.acquire();
+            SeqWorkspace& w = *lease;
             w.v = vec_rho0;
             w.net = Mat::identity(4);
             for (std::size_t k = 0; k < m; ++k) {
@@ -340,13 +315,13 @@ RbCurve rb_curve_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbO
 
             contracts::check_density_vec(w.v, "RB 2Q: state after recovery", 1e-6);
             const device::Counts counts = exec.measure_2q_vec(w.v, opts.shots, rng());
-            survivals[static_cast<std::size_t>(s)] = counts.probability("00");
-            obs::emit_rb_seed(interleave_super ? "irb2q" : "rb2q", m, s,
-                              survivals[static_cast<std::size_t>(s)]);
-        }
+            survivals[s] = counts.probability("00");
+            obs::emit_rb_seed(interleave_super ? "irb2q" : "rb2q", m,
+                              static_cast<std::int64_t>(s), survivals[s]);
+        });
         RbPoint pt;
         pt.length = m;
-        pt.mean_survival = survival_mean(survivals);
+        pt.mean_survival = runtime::ordered_mean(survivals);
         pt.sem = survival_sem(survivals, pt.mean_survival);
         curve.points.push_back(pt);
     }
@@ -360,11 +335,12 @@ RbCurve run_rb_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbOpt
     return rb_curve_2q(exec, gates, options, nullptr, 0);
 }
 
-IrbResult run_irb_2q(const PulseExecutor& exec, const GateSet2Q& gates,
-                     const Mat& interleaved_superop, std::size_t interleaved_clifford,
-                     const RbOptions& options) {
+IrbResult run_irb_2q_with_reference(const PulseExecutor& exec, const GateSet2Q& gates,
+                                    const RbCurve& reference, const Mat& interleaved_superop,
+                                    std::size_t interleaved_clifford,
+                                    const RbOptions& options) {
     IrbResult res;
-    res.reference = rb_curve_2q(exec, gates, options, nullptr, 0);
+    res.reference = reference;
     res.interleaved =
         rb_curve_2q(exec, gates, options, &interleaved_superop, interleaved_clifford);
     const double ratio = res.interleaved.alpha / res.reference.alpha;
@@ -373,6 +349,13 @@ IrbResult run_irb_2q(const PulseExecutor& exec, const GateSet2Q& gates,
                                  std::pow(res.reference.alpha_err / res.reference.alpha, 2));
     res.gate_error_err = 0.75 * ratio * rel;
     return res;
+}
+
+IrbResult run_irb_2q(const PulseExecutor& exec, const GateSet2Q& gates,
+                     const Mat& interleaved_superop, std::size_t interleaved_clifford,
+                     const RbOptions& options) {
+    return run_irb_2q_with_reference(exec, gates, rb_curve_2q(exec, gates, options, nullptr, 0),
+                                     interleaved_superop, interleaved_clifford, options);
 }
 
 }  // namespace qoc::rb

@@ -92,6 +92,17 @@ IrbResult run_irb_1q(const PulseExecutor& exec, const GateSet1Q& gates, std::siz
                      const Mat& interleaved_superop, std::size_t interleaved_clifford,
                      const RbOptions& options);
 
+/// Interleaved RB against an already-measured reference curve.  With
+/// identical (executor, gate set, qubit, options) the reference curve is
+/// the same experiment for every interleaved gate, so batch callers (the
+/// design pipeline) measure it once and share it; `run_irb_1q` is this with
+/// a freshly measured reference.
+IrbResult run_irb_1q_with_reference(const PulseExecutor& exec, const GateSet1Q& gates,
+                                    std::size_t qubit, const RbCurve& reference,
+                                    const Mat& interleaved_superop,
+                                    std::size_t interleaved_clifford,
+                                    const RbOptions& options);
+
 /// Two-qubit gate set: builds superops for the 1Q basis gates on each qubit
 /// and for cx(0,1).  Clifford superops are composed from those shared
 /// basis-gate superops into a lazily-memoized, thread-safe cache over the
@@ -106,7 +117,8 @@ public:
     /// composed on first use, cached afterwards.
     const Mat& clifford_superop(std::size_t i) const;
 
-    /// Eagerly fills the whole cache (OpenMP-parallel).  Worth calling ahead
+    /// Eagerly fills the whole cache (parallel on the runtime task pool).
+    /// Worth calling ahead
     /// of runs whose sequences will touch most of the group; lazy filling is
     /// cheaper for short smoke runs.
     void precompute_all() const;
@@ -130,6 +142,12 @@ RbCurve run_rb_2q(const PulseExecutor& exec, const GateSet2Q& gates, const RbOpt
 IrbResult run_irb_2q(const PulseExecutor& exec, const GateSet2Q& gates,
                      const Mat& interleaved_superop, std::size_t interleaved_clifford,
                      const RbOptions& options);
+
+/// 2Q analogue of `run_irb_1q_with_reference`.
+IrbResult run_irb_2q_with_reference(const PulseExecutor& exec, const GateSet2Q& gates,
+                                    const RbCurve& reference, const Mat& interleaved_superop,
+                                    std::size_t interleaved_clifford,
+                                    const RbOptions& options);
 
 /// Fits A alpha^m + B to the points and fills the fit/EPC fields.
 void fit_rb_curve(RbCurve& curve, double dimension);

@@ -1,0 +1,32 @@
+/// \file ordered.hpp
+/// \brief Deterministic ordered reductions for task-pool fan-outs.
+///
+/// The runtime's bitwise 1-vs-N determinism strategy: parallel bodies write
+/// only disjoint per-index slots; the reduction then runs serially, in
+/// index order, on the calling thread.  Floating-point addition is not
+/// associative, so this fixed fold order -- not atomics, not tree reduces
+/// -- is what makes results independent of the pool size.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qoc::runtime {
+
+/// Left fold in index order: slots[0] + slots[1] + ... (value-initialized
+/// accumulator).  Bitwise reproducible for any pool size.
+template <class T>
+T ordered_sum(const std::vector<T>& slots) {
+    T acc{};
+    for (const T& v : slots) acc += v;
+    return acc;
+}
+
+/// Ordered-sum mean (0 for empty input).
+inline double ordered_mean(const std::vector<double>& slots) {
+    if (slots.empty()) return 0.0;
+    return ordered_sum(slots) / static_cast<double>(slots.size());
+}
+
+}  // namespace qoc::runtime

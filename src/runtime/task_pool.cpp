@@ -1,0 +1,292 @@
+#include "runtime/task_pool.hpp"
+
+#include <cstdlib>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+#ifdef QOC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace qoc::runtime {
+
+namespace detail {
+
+std::size_t parse_thread_count(const char* text) noexcept {
+    if (text == nullptr || *text == '\0') return 0;
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1) return 0;
+    return static_cast<std::size_t>(v);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Identifies the pool/worker the current thread belongs to, so submits
+/// from inside a task land on the worker's own deque and helping waits pop
+/// it first (LIFO: keeps nested fan-outs cache-hot and deadlock-free).
+struct WorkerTag {
+    void* impl = nullptr;  ///< the owning TaskPool::Impl
+    std::size_t wid = 0;
+};
+thread_local WorkerTag t_worker;
+
+}  // namespace
+
+struct TaskPool::Impl {
+    struct Queue {
+        std::mutex mu;
+        std::deque<detail::Task> tasks;
+    };
+
+    explicit Impl(std::size_t n_workers) : worker_queues(n_workers) {}
+
+    /// One deque per worker plus an injection queue for external submitters.
+    std::vector<Queue> worker_queues;
+    Queue external;
+
+    /// Sleep/wake machinery: `wake_epoch` bumps on every enqueue, so a
+    /// worker that snapshots the epoch, re-scans the queues and then waits
+    /// for a newer epoch can never miss a task (no lost wakeups).
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t wake_epoch = 0;
+    bool stop = false;
+
+    std::vector<std::thread> workers;
+
+    void notify_enqueue() {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            ++wake_epoch;
+        }
+        cv.notify_all();
+    }
+
+    static bool pop_back(Queue& q, detail::Task& out) {
+        std::lock_guard<std::mutex> lk(q.mu);
+        if (q.tasks.empty()) return false;
+        out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        return true;
+    }
+
+    static bool pop_front(Queue& q, detail::Task& out) {
+        std::lock_guard<std::mutex> lk(q.mu);
+        if (q.tasks.empty()) return false;
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        return true;
+    }
+
+    /// Own deque (LIFO) -> injection queue (FIFO) -> steal (FIFO).
+    /// `self` is the calling worker's index, or SIZE_MAX for non-workers.
+    bool take(std::size_t self, detail::Task& out) {
+        if (self != SIZE_MAX && pop_back(worker_queues[self], out)) return true;
+        if (pop_front(external, out)) return true;
+        for (std::size_t i = 0; i < worker_queues.size(); ++i) {
+            if (i == self) continue;
+            if (pop_front(worker_queues[i], out)) return true;
+        }
+        return false;
+    }
+
+    static void run(detail::Task& task) {
+        // Reparent obs spans opened inside the task to the submitter's span,
+        // so traces show the logical task graph, not the worker timeline.
+        obs::TaskParentScope parent(task.parent_span);
+        task();
+    }
+
+    void worker_loop(std::size_t wid) {
+        t_worker = WorkerTag{this, wid};
+        detail::Task task;
+        for (;;) {
+            if (take(wid, task)) {
+                run(task);
+                task = detail::Task();
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(mu);
+            const std::uint64_t epoch = wake_epoch;
+            lk.unlock();
+            if (take(wid, task)) {
+                run(task);
+                task = detail::Task();
+                continue;
+            }
+            lk.lock();
+            cv.wait(lk, [&] { return stop || wake_epoch != epoch; });
+            if (stop) return;
+        }
+    }
+};
+
+TaskPool::TaskPool(std::size_t concurrency) {
+    if (concurrency < 1) concurrency = 1;
+    n_workers_ = concurrency - 1;
+    impl_ = std::make_unique<Impl>(n_workers_);
+    impl_->workers.reserve(n_workers_);
+    for (std::size_t w = 0; w < n_workers_; ++w) {
+        impl_->workers.emplace_back([impl = impl_.get(), w] { impl->worker_loop(w); });
+    }
+}
+
+TaskPool::~TaskPool() {
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (std::thread& t : impl_->workers) t.join();
+}
+
+void TaskPool::submit_raw(detail::Task&& task) {
+    task.parent_span = obs::current_span();
+    Impl::Queue* q = &impl_->external;
+    if (t_worker.impl == impl_.get()) q = &impl_->worker_queues[t_worker.wid];
+    {
+        std::lock_guard<std::mutex> lk(q->mu);
+        q->tasks.push_back(std::move(task));
+    }
+    impl_->notify_enqueue();
+}
+
+bool TaskPool::try_run_one() {
+    const std::size_t self = (t_worker.impl == impl_.get()) ? t_worker.wid : SIZE_MAX;
+    detail::Task task;
+    if (!impl_->take(self, task)) return false;
+    Impl::run(task);
+    return true;
+}
+
+namespace {
+
+struct ParForCtl {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t begin = 0;
+    std::size_t n = 0;
+    void (*fn)(void*, std::size_t) = nullptr;
+    void* ctx = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::mutex err_mu;
+    std::exception_ptr error;
+
+    /// Claims indices until exhausted.  Every index runs exactly once (no
+    /// cancellation: deterministic side effects regardless of failures);
+    /// the first exception is kept for the caller to rethrow.
+    void run_loop() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                fn(ctx, begin + i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(err_mu);
+                if (!error) error = std::current_exception();
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+                {
+                    std::lock_guard<std::mutex> lk(mu);
+                }
+                cv.notify_all();
+            }
+        }
+    }
+};
+
+}  // namespace
+
+void TaskPool::parallel_for_impl(std::size_t begin, std::size_t end,
+                                 void (*fn)(void*, std::size_t), void* ctx) {
+    const std::size_t n = end - begin;
+    auto ctl = std::make_shared<ParForCtl>();
+    ctl->begin = begin;
+    ctl->n = n;
+    ctl->fn = fn;
+    ctl->ctx = ctx;
+
+    // Enough helper tasks to occupy every other execution slot; a helper
+    // that runs after the loop drained simply claims nothing and returns.
+    const std::size_t helpers = std::min(size() - 1, n - 1);
+    for (std::size_t h = 0; h < helpers; ++h) {
+        submit_raw(detail::Task([ctl] { ctl->run_loop(); }));
+    }
+
+    ctl->run_loop();
+    {
+        std::unique_lock<std::mutex> lk(ctl->mu);
+        ctl->cv.wait(lk, [&] { return ctl->done.load(std::memory_order_acquire) == n; });
+    }
+    if (ctl->error) std::rethrow_exception(ctl->error);
+}
+
+void TaskGroup::wait() {
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(st_->mu);
+            if (st_->pending == 0) break;
+        }
+        if (!pool_.try_run_one()) {
+            std::unique_lock<std::mutex> lk(st_->mu);
+            st_->cv.wait(lk, [&] { return st_->pending == 0; });
+            break;
+        }
+    }
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lk(st_->mu);
+        err = st_->error;
+        st_->error = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+}
+
+namespace {
+
+std::mutex g_global_mu;
+
+std::unique_ptr<TaskPool>& global_slot() {
+    static std::unique_ptr<TaskPool> pool;
+    return pool;
+}
+
+}  // namespace
+
+std::size_t TaskPool::default_pool_size() {
+    if (const std::size_t n = detail::parse_thread_count(std::getenv("QOC_THREADS"))) {
+        return n;
+    }
+#ifdef QOC_HAVE_OPENMP
+    // The one OpenMP call site left in the tree: the pre-runtime engines
+    // sized their workspace pools off omp_get_max_threads(), so honoring it
+    // (and thus OMP_NUM_THREADS) keeps existing deployment knobs working.
+    return static_cast<std::size_t>(omp_get_max_threads());
+#else
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+#endif
+}
+
+TaskPool& TaskPool::global() {
+    std::lock_guard<std::mutex> lk(g_global_mu);
+    auto& slot = global_slot();
+    if (!slot) slot = std::make_unique<TaskPool>(default_pool_size());
+    return *slot;
+}
+
+void TaskPool::set_global_pool_size(std::size_t concurrency) {
+    std::lock_guard<std::mutex> lk(g_global_mu);
+    auto& slot = global_slot();
+    slot.reset();  // join the old workers before the new pool spins up
+    slot = std::make_unique<TaskPool>(concurrency);
+}
+
+}  // namespace qoc::runtime

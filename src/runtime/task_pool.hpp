@@ -1,0 +1,320 @@
+/// \file task_pool.hpp
+/// \brief `qoc::runtime` -- the shared task-pool runtime.
+///
+/// One process-wide work-stealing pool replaces the per-call
+/// `#pragma omp parallel for` regions that used to live in GRAPE, the RB
+/// engines and the Clifford precompute.  The pieces:
+///
+///  * `TaskPool`: N-way pool (N includes the submitting thread; N == 1 means
+///    no worker threads at all and every primitive degenerates to inline
+///    serial execution).  Workers keep per-worker deques and steal from each
+///    other; external submitters feed a shared injection queue.
+///  * `Future<T>` / `TaskGroup`: blocking waits HELP -- they run queued
+///    tasks while waiting, so tasks may submit and wait on subtasks from
+///    inside the pool (any pool size) without deadlock.
+///  * `parallel_for`: index fan-out with dynamic (chunk-of-1) claiming, the
+///    scheduling the migrated OpenMP loops used.  Determinism contract:
+///    bodies write only per-index state; reductions happen serially after
+///    the loop (see ordered.hpp), so results are bitwise identical for any
+///    pool size.
+///  * obs integration: the submitting thread's current `qoc::obs` span id is
+///    captured at submit time and installed in the executing worker, so
+///    trace parent links survive task boundaries.
+///
+/// Pool size resolution for `TaskPool::global()`: `QOC_THREADS` env var,
+/// else OpenMP's `omp_get_max_threads()` (honoring `OMP_NUM_THREADS`, the
+/// knob the pre-runtime engines obeyed), else `hardware_concurrency`.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace qoc::runtime {
+
+class TaskPool;
+
+namespace detail {
+
+/// Move-only type-erased callable, plus the obs span id of the submitter.
+class Task {
+public:
+    Task() = default;
+    template <class F>
+    explicit Task(F&& f)
+        : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+    explicit operator bool() const noexcept { return impl_ != nullptr; }
+    void operator()() { impl_->call(); }
+
+    std::uint64_t parent_span = 0;
+
+private:
+    struct Concept {
+        virtual ~Concept() = default;
+        virtual void call() = 0;
+    };
+    template <class F>
+    struct Model final : Concept {
+        explicit Model(F&& f) : fn(std::move(f)) {}
+        explicit Model(const F& f) : fn(f) {}
+        void call() override { fn(); }
+        F fn;
+    };
+    std::unique_ptr<Concept> impl_;
+};
+
+/// Completion cell shared between a submitted task and its Future.
+template <class T>
+struct SharedState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+    std::optional<T> value;
+};
+
+template <>
+struct SharedState<void> {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+};
+
+/// Outstanding-task accounting for a TaskGroup.
+struct GroupState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+    std::exception_ptr error;  ///< first task exception, rethrown by wait()
+};
+
+/// Parses a `QOC_THREADS`-style value; 0 = unset/invalid (use fallback).
+std::size_t parse_thread_count(const char* text) noexcept;
+
+}  // namespace detail
+
+/// Handle to a submitted task's result.  `get()` HELPS: while the result is
+/// pending it runs other queued tasks of the owning pool, so waiting never
+/// deadlocks -- not even with pool size 1, where the submitting thread is
+/// the only executor there is.
+template <class T>
+class Future {
+public:
+    Future() = default;
+
+    bool valid() const noexcept { return st_ != nullptr; }
+
+    /// Blocks (helping) until the task completes; returns its result or
+    /// rethrows its exception.  One-shot: the Future is empty afterwards.
+    T get();
+
+private:
+    friend class TaskPool;
+    Future(std::shared_ptr<detail::SharedState<T>> st, TaskPool* pool)
+        : st_(std::move(st)), pool_(pool) {}
+
+    std::shared_ptr<detail::SharedState<T>> st_;
+    TaskPool* pool_ = nullptr;
+};
+
+/// Work-stealing task pool.  See the file comment for the model.
+class TaskPool {
+public:
+    /// `concurrency` counts the submitting thread: `TaskPool(4)` spawns 3
+    /// workers, `TaskPool(1)` spawns none (pure inline execution).
+    explicit TaskPool(std::size_t concurrency);
+
+    /// Joins the workers.  Tasks still queued are dropped, so quiesce
+    /// (wait on every Future/TaskGroup) before destroying a pool.
+    ~TaskPool();
+
+    TaskPool(const TaskPool&) = delete;
+    TaskPool& operator=(const TaskPool&) = delete;
+
+    /// Worker count + 1 (the OpenMP `omp_get_max_threads()` analogue).
+    std::size_t size() const noexcept { return n_workers_ + 1; }
+
+    /// The process-wide pool (created on first use; see the file comment
+    /// for how its size is resolved).
+    static TaskPool& global();
+
+    /// Size `global()` would be created with right now.
+    static std::size_t default_pool_size();
+
+    /// Replaces the global pool (tests / benchmarks).  The old pool must be
+    /// quiescent; references obtained from `global()` before this call
+    /// dangle after it.
+    static void set_global_pool_size(std::size_t concurrency);
+
+    /// Submits `f` for execution and returns a helping Future.
+    template <class F>
+    auto submit(F&& f) -> Future<std::invoke_result_t<std::decay_t<F>>> {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto st = std::make_shared<detail::SharedState<R>>();
+        detail::Task task([st, fn = std::forward<F>(f)]() mutable {
+            try {
+                if constexpr (std::is_void_v<R>) {
+                    fn();
+                } else {
+                    st->value.emplace(fn());
+                }
+            } catch (...) {
+                st->error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lk(st->mu);
+                st->done = true;
+            }
+            st->cv.notify_all();
+        });
+        submit_raw(std::move(task));
+        return Future<R>(std::move(st), this);
+    }
+
+    /// Runs `body(i)` for every i in [begin, end).  Indices are claimed
+    /// dynamically in chunks of 1 (the `schedule(dynamic)` the migrated
+    /// loops used); the calling thread participates.  With pool size 1 or a
+    /// single index the loop runs inline -- no task objects, no atomics, no
+    /// heap traffic -- preserving the alloc-guard budgets of the serial
+    /// engines.  The first body exception is rethrown after all indices ran.
+    template <class Body>
+    void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
+        if (end <= begin) return;
+        if (size() == 1 || end - begin == 1) {
+            // Same no-cancellation semantics as the parallel path: every
+            // index runs; the first exception is rethrown afterwards.
+            std::exception_ptr error;
+            for (std::size_t i = begin; i < end; ++i) {
+                try {
+                    body(i);
+                } catch (...) {
+                    if (!error) error = std::current_exception();
+                }
+            }
+            if (error) std::rethrow_exception(error);
+            return;
+        }
+        using B = std::remove_reference_t<Body>;
+        parallel_for_impl(begin, end,
+                          [](void* ctx, std::size_t i) { (*static_cast<B*>(ctx))(i); },
+                          std::addressof(body));
+    }
+
+    /// Runs one queued task of this pool on the calling thread, if any.
+    /// Exposed so blocking waits can help; normal code never needs it.
+    bool try_run_one();
+
+private:
+    template <class T>
+    friend class Future;
+    friend class TaskGroup;
+
+    struct Impl;
+
+    void submit_raw(detail::Task&& task);
+    void parallel_for_impl(std::size_t begin, std::size_t end,
+                           void (*fn)(void*, std::size_t), void* ctx);
+
+    std::size_t n_workers_ = 0;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Structured fork-join: `run()` submits, `wait()` (and the destructor)
+/// blocks -- helping -- until every task of the group finished.  `wait()`
+/// rethrows the first task exception.
+class TaskGroup {
+public:
+    explicit TaskGroup(TaskPool& pool = TaskPool::global())
+        : pool_(pool), st_(std::make_shared<detail::GroupState>()) {}
+
+    /// Waits for stragglers; exceptions not collected by a prior `wait()`
+    /// are swallowed here (destructors must not throw).
+    ~TaskGroup() {
+        try {
+            wait();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+    }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    template <class F>
+    void run(F&& f) {
+        {
+            std::lock_guard<std::mutex> lk(st_->mu);
+            ++st_->pending;
+        }
+        auto st = st_;
+        pool_.submit_raw(detail::Task([st, fn = std::forward<F>(f)]() mutable {
+            try {
+                fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(st->mu);
+                if (!st->error) st->error = std::current_exception();
+            }
+            bool last = false;
+            {
+                std::lock_guard<std::mutex> lk(st->mu);
+                last = (--st->pending == 0);
+            }
+            if (last) st->cv.notify_all();
+        }));
+    }
+
+    void wait();
+
+private:
+    TaskPool& pool_;
+    std::shared_ptr<detail::GroupState> st_;
+};
+
+/// Pins `TaskPool::global()` to `concurrency` for a scope (tests and the
+/// 1-vs-N determinism suites), restoring the previous size on exit.
+class ScopedPoolSize {
+public:
+    explicit ScopedPoolSize(std::size_t concurrency)
+        : prev_(TaskPool::global().size()) {
+        TaskPool::set_global_pool_size(concurrency);
+    }
+    ~ScopedPoolSize() { TaskPool::set_global_pool_size(prev_); }
+    ScopedPoolSize(const ScopedPoolSize&) = delete;
+    ScopedPoolSize& operator=(const ScopedPoolSize&) = delete;
+
+private:
+    std::size_t prev_;
+};
+
+template <class T>
+T Future<T>::get() {
+    auto st = std::move(st_);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(st->mu);
+            if (st->done) break;
+        }
+        if (pool_ == nullptr || !pool_->try_run_one()) {
+            std::unique_lock<std::mutex> lk(st->mu);
+            // Re-check under the lock: the task may have completed between
+            // the failed help attempt and this wait.
+            st->cv.wait(lk, [&] { return st->done; });
+            break;
+        }
+    }
+    if (st->error) std::rethrow_exception(st->error);
+    if constexpr (!std::is_void_v<T>) {
+        return std::move(*st->value);
+    }
+}
+
+}  // namespace qoc::runtime

@@ -1,0 +1,99 @@
+/// \file workspace_pool.hpp
+/// \brief Shared workspace arena for parallel stages.
+///
+/// Replaces the three per-module copies of the "vector of per-OpenMP-thread
+/// scratch structs indexed by omp_get_thread_num()" pattern (GRAPE, RB,
+/// leakage RB).  A task-pool body acquires a RAII lease instead: the pool
+/// hands back the most recently released workspace (LIFO, cache-warm) or
+/// creates a new one, so at most `concurrent users` workspaces ever exist
+/// and the steady state performs ZERO heap allocations -- acquire is a
+/// vector pop, release a push within reserved capacity (pinned by the
+/// tests/analysis alloc-guard).
+///
+/// Determinism note: unlike the omp-thread-indexed arrays, which workspace
+/// a body gets is scheduling-dependent -- workspaces must therefore hold
+/// only shape-reused scratch (matrices sized on first use), never values
+/// carried between indices.  That was already the contract of all three
+/// migrated pools.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace qoc::runtime {
+
+template <class T>
+class WorkspacePool {
+public:
+    WorkspacePool() = default;
+    WorkspacePool(const WorkspacePool&) = delete;
+    WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+    /// Exclusive RAII handle to one workspace; returns it on destruction.
+    class Lease {
+    public:
+        Lease(Lease&& other) noexcept
+            : pool_(std::exchange(other.pool_, nullptr)),
+              ws_(std::exchange(other.ws_, nullptr)) {}
+        Lease& operator=(Lease&& other) noexcept {
+            if (this != &other) {
+                release();
+                pool_ = std::exchange(other.pool_, nullptr);
+                ws_ = std::exchange(other.ws_, nullptr);
+            }
+            return *this;
+        }
+        ~Lease() { release(); }
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+
+        T& operator*() const noexcept { return *ws_; }
+        T* operator->() const noexcept { return ws_; }
+
+    private:
+        friend class WorkspacePool;
+        Lease(WorkspacePool* pool, T* ws) noexcept : pool_(pool), ws_(ws) {}
+        void release() noexcept {
+            if (pool_ != nullptr) pool_->put_back(ws_);
+            pool_ = nullptr;
+            ws_ = nullptr;
+        }
+        WorkspacePool* pool_ = nullptr;
+        T* ws_ = nullptr;
+    };
+
+    /// Most recently released workspace, or a fresh default-constructed one.
+    Lease acquire() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!free_.empty()) {
+            T* ws = free_.back();
+            free_.pop_back();
+            return Lease(this, ws);
+        }
+        all_.push_back(std::make_unique<T>());
+        free_.reserve(all_.size());  // keeps every future release push-back alloc-free
+        return Lease(this, all_.back().get());
+    }
+
+    /// Workspaces created so far == the high-water mark of concurrent users.
+    std::size_t created() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return all_.size();
+    }
+
+private:
+    void put_back(T* ws) noexcept {
+        std::lock_guard<std::mutex> lk(mu_);
+        free_.push_back(ws);
+    }
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<T>> all_;
+    std::vector<T*> free_;
+};
+
+}  // namespace qoc::runtime

@@ -33,10 +33,10 @@
 #include "quantum/operators.hpp"
 #include "quantum/superop.hpp"
 #include "rb/rb.hpp"
+#include "runtime/task_pool.hpp"
+#include "runtime/workspace_pool.hpp"
 
-#ifdef QOC_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include <optional>
 
 namespace qoc {
 namespace {
@@ -44,24 +44,16 @@ namespace {
 using linalg::Mat;
 using testing::AllocMeter;
 
-/// Serializes OpenMP so per-thread workspace creation cannot leak into a
-/// measured region (counts stay exactly reproducible).
+/// Pins the task pool to size 1 so workspace-lease creation and task
+/// submission cannot leak into a measured region (counts stay exactly
+/// reproducible; size 1 is the pure-inline, zero-allocation fast path).
 class AllocGuardTest : public ::testing::Test {
 protected:
-    void SetUp() override {
-#ifdef QOC_HAVE_OPENMP
-        prev_threads_ = omp_get_max_threads();
-        omp_set_num_threads(1);
-#endif
-    }
-    void TearDown() override {
-#ifdef QOC_HAVE_OPENMP
-        omp_set_num_threads(prev_threads_);
-#endif
-    }
+    void SetUp() override { serial_.emplace(1); }
+    void TearDown() override { serial_.reset(); }
 
 private:
-    int prev_threads_ = 1;
+    std::optional<runtime::ScopedPoolSize> serial_;
 };
 
 Mat random_like(std::size_t rows, std::size_t cols, std::uint64_t seed) {
@@ -116,6 +108,27 @@ TEST_F(AllocGuardTest, ApplySuperopIntoIsAllocationFreeAfterWarmup) {
     AllocMeter m;
     for (int i = 0; i < 16; ++i) quantum::apply_superop_into(s, v, out);
     EXPECT_EQ(m.delta(), 0u);
+}
+
+TEST_F(AllocGuardTest, WorkspacePoolLeaseReuseAllocationFreeAfterWarmup) {
+    // The runtime arena's steady state: acquire pops the LIFO free list,
+    // release pushes within reserved capacity -- zero heap traffic after
+    // the first lease created (and sized) the single workspace.
+    struct Scratch {
+        Mat m;
+    };
+    runtime::WorkspacePool<Scratch> pool;
+    {
+        auto lease = pool.acquire();  // warmup: creates + sizes the workspace
+        lease->m = random_like(16, 16, 7);
+    }
+    AllocMeter meter;
+    for (int i = 0; i < 64; ++i) {
+        auto lease = pool.acquire();
+        lease->m(0, 0) = {static_cast<double>(i), 0.0};
+    }
+    EXPECT_EQ(meter.delta(), 0u);
+    EXPECT_EQ(pool.created(), 1u) << "sequential leases must reuse one workspace";
 }
 
 #if defined(QOC_CONTRACTS_ENABLED)

@@ -1,8 +1,8 @@
-/// GRAPE gradients must be bit-identical regardless of the OpenMP thread
-/// count: every slot of the objective writes disjoint storage through its
-/// own per-thread workspace, so parallelism must not change a single ULP.
-/// Guards against anyone "optimizing" the evaluator with a reduction or a
-/// shared accumulator that reorders floating-point sums.
+/// GRAPE gradients must be bit-identical regardless of the task-pool size:
+/// every slot of the objective writes disjoint storage through its own
+/// pooled workspace, so parallelism must not change a single ULP.  Guards
+/// against anyone "optimizing" the evaluator with a reduction or a shared
+/// accumulator that reorders floating-point sums.
 
 #include "control/grape.hpp"
 
@@ -13,10 +13,7 @@
 #include "quantum/gates.hpp"
 #include "quantum/operators.hpp"
 #include "quantum/superop.hpp"
-
-#ifdef QOC_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include "runtime/task_pool.hpp"
 
 namespace qoc::control {
 namespace {
@@ -58,20 +55,11 @@ GrapeProblem open_problem(std::size_t n_ts) {
     return p;
 }
 
-/// Evaluates err + grad at a fixed thread count, restoring the previous
-/// count afterwards.
+/// Evaluates err + grad at a fixed task-pool size, restoring the previous
+/// size afterwards.
 double eval_with_threads(int n_threads, const GrapeProblem& p, std::vector<double>& grad) {
-#ifdef QOC_HAVE_OPENMP
-    const int prev = omp_get_max_threads();
-    omp_set_num_threads(n_threads);
-#else
-    (void)n_threads;
-#endif
-    const double err = evaluate_fid_err_and_grad(p, p.initial_amps, grad);
-#ifdef QOC_HAVE_OPENMP
-    omp_set_num_threads(prev);
-#endif
-    return err;
+    runtime::ScopedPoolSize scoped(static_cast<std::size_t>(n_threads));
+    return evaluate_fid_err_and_grad(p, p.initial_amps, grad);
 }
 
 TEST(GrapeDeterminism, ClosedGradientBitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,225 @@
+/// `experiments::DesignPipeline`: the batched design + IRB task graph must
+/// be (a) bitwise identical to the per-call APIs it replaces, (b) bitwise
+/// identical across task-pool sizes, and (c) actually share the per-qubit
+/// reference curve and gate set between characterizations.
+
+#include "experiments/design_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quantum/gates.hpp"
+#include "runtime/task_pool.hpp"
+
+namespace qoc::experiments {
+namespace {
+
+namespace g = quantum::gates;
+
+device::PulseExecutor& exec() {
+    static device::PulseExecutor instance{device::ibmq_montreal()};
+    return instance;
+}
+
+const pulse::InstructionScheduleMap& defaults() {
+    static pulse::InstructionScheduleMap map = device::build_default_gates(exec());
+    return map;
+}
+
+/// Small-but-real design job: two-level closed model, few slots, few
+/// iterations -- cheap enough to grid over seeds in a unit test.
+GateDesignSpec tiny_spec(const linalg::Mat& target) {
+    GateDesignSpec s;
+    s.target = target;
+    s.duration_dt = 64;
+    s.n_timeslots = 8;
+    s.model = DesignModel::kTwoLevelClosed;
+    s.max_iterations = 5;
+    s.target_fid_err = 1e-8;
+    return s;
+}
+
+rb::RbOptions tiny_rb() {
+    rb::RbOptions o;
+    o.lengths = {1, 16, 32};
+    o.seeds_per_length = 3;
+    o.shots = 512;
+    return o;
+}
+
+void expect_curves_bitwise_equal(const rb::RbCurve& a, const rb::RbCurve& b) {
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].mean_survival, b.points[i].mean_survival) << "i=" << i;
+        EXPECT_EQ(a.points[i].sem, b.points[i].sem) << "i=" << i;
+    }
+    EXPECT_EQ(a.alpha, b.alpha);
+    EXPECT_EQ(a.epc, b.epc);
+}
+
+void expect_comparisons_bitwise_equal(const GateComparison& a, const GateComparison& b) {
+    EXPECT_EQ(a.gate, b.gate);
+    expect_curves_bitwise_equal(a.custom.reference, b.custom.reference);
+    expect_curves_bitwise_equal(a.custom.interleaved, b.custom.interleaved);
+    expect_curves_bitwise_equal(a.standard.reference, b.standard.reference);
+    expect_curves_bitwise_equal(a.standard.interleaved, b.standard.interleaved);
+    EXPECT_EQ(a.custom.gate_error, b.custom.gate_error);
+    EXPECT_EQ(a.standard.gate_error, b.standard.gate_error);
+    EXPECT_EQ(a.improvement_percent, b.improvement_percent);
+}
+
+TEST(DesignPipelineDeterminism, CandidatesMatchPerCallDesign) {
+    DesignPipelineOptions po;
+    po.rb = tiny_rb();
+    po.characterize = false;
+    const DesignPipeline pipeline(exec(), defaults(), po);
+
+    GateJob1Q job;
+    job.gate_name = "x";
+    job.qubit = 0;
+    job.spec = tiny_spec(g::x());
+    job.seeds = {7, 99};
+    job.durations_dt = {64, 96};
+
+    const PipelineResult result = pipeline.run({job});
+    ASSERT_EQ(result.gates.size(), 1u);
+    const GateResult1Q& res = result.gates[0];
+    ASSERT_EQ(res.candidates.size(), 4u);
+    EXPECT_FALSE(res.characterized);
+
+    // Grid order is seed-major, duration-minor; every candidate must be
+    // bitwise the per-call design with that (seed, duration).
+    std::size_t idx = 0;
+    for (const std::uint64_t seed : job.seeds) {
+        for (const std::size_t dur : job.durations_dt) {
+            GateDesignSpec sp = job.spec;
+            sp.random_seed = seed;
+            sp.duration_dt = dur;
+            const DesignedGate direct =
+                design_1q_gate(pipeline.design_model(), 0, "x", sp);
+            const Candidate1Q& cand = res.candidates[idx++];
+            EXPECT_EQ(cand.seed, seed);
+            EXPECT_EQ(cand.duration_dt, dur);
+            EXPECT_EQ(cand.gate.model_fid_err, direct.model_fid_err);
+            EXPECT_EQ(cand.gate.optim.final_amps, direct.optim.final_amps);
+        }
+    }
+
+    // best() is the model-infidelity argmin.
+    for (const Candidate1Q& cand : res.candidates) {
+        EXPECT_LE(res.best().model_fid_err, cand.gate.model_fid_err);
+    }
+}
+
+TEST(DesignPipelineDeterminism, CharacterizationMatchesLegacyPerCallIrb) {
+    // The pipeline's shared-reference IRB must be bitwise what the legacy
+    // flow (fresh GateSet1Q + run_irb_1q per gate, reference re-measured
+    // each time) produced.
+    const GateDesignSpec spec = tiny_spec(g::x());
+    const DesignedGate designed =
+        design_1q_gate(device::nominal_model(exec().config()), 0, "x", spec);
+    const rb::RbOptions opts = tiny_rb();
+
+    // Legacy composition, inlined from the pre-pipeline compare_1q_gate.
+    const rb::Clifford1Q group;
+    const rb::GateSet1Q gates(exec(), defaults(), 0, group);
+    const std::size_t cliff = group.find(ideal_1q_gate("x"));
+    const linalg::Mat custom_super = exec().schedule_superop_1q(designed.schedule, 0);
+    const linalg::Mat default_super = default_gate_superop_1q(exec(), defaults(), "x", 0);
+    GateComparison legacy;
+    legacy.gate = "x";
+    legacy.custom = rb::run_irb_1q(exec(), gates, 0, custom_super, cliff, opts);
+    legacy.standard = rb::run_irb_1q(exec(), gates, 0, default_super, cliff, opts);
+    legacy.improvement_percent = 100.0 *
+                                 (legacy.standard.gate_error - legacy.custom.gate_error) /
+                                 legacy.standard.gate_error;
+
+    DesignPipelineOptions po;
+    po.rb = opts;
+    const DesignPipeline pipeline(exec(), defaults(), po);
+    expect_comparisons_bitwise_equal(
+        pipeline.characterize_1q("x", 0, designed.schedule), legacy);
+
+    // ... and the public wrapper routes through the pipeline identically.
+    expect_comparisons_bitwise_equal(
+        compare_1q_gate(exec(), defaults(), "x", 0, designed.schedule, group, opts), legacy);
+}
+
+TEST(DesignPipelineDeterminism, BatchBitIdenticalAcrossPoolSizes) {
+    auto run_batch = [] {
+        DesignPipelineOptions po;
+        po.rb = tiny_rb();
+        const DesignPipeline pipeline(exec(), defaults(), po);
+
+        GateJob1Q x_job;
+        x_job.gate_name = "x";
+        x_job.spec = tiny_spec(g::x());
+        x_job.seeds = {1, 2};
+
+        GateJob1Q sx_job;
+        sx_job.gate_name = "sx";
+        sx_job.spec = tiny_spec(g::sx());
+        sx_job.characterize = false;
+
+        return pipeline.run({x_job, sx_job});
+    };
+
+    runtime::ScopedPoolSize serial(1);
+    const PipelineResult ref = run_batch();
+    for (std::size_t n : {std::size_t{2}, std::size_t{4}}) {
+        runtime::ScopedPoolSize scoped(n);
+        const PipelineResult got = run_batch();
+        ASSERT_EQ(got.gates.size(), ref.gates.size());
+        for (std::size_t i = 0; i < ref.gates.size(); ++i) {
+            const GateResult1Q& a = ref.gates[i];
+            const GateResult1Q& b = got.gates[i];
+            ASSERT_EQ(a.candidates.size(), b.candidates.size()) << "pool " << n;
+            for (std::size_t c = 0; c < a.candidates.size(); ++c) {
+                EXPECT_EQ(a.candidates[c].gate.model_fid_err,
+                          b.candidates[c].gate.model_fid_err)
+                    << "pool " << n << " gate " << i << " cand " << c;
+                EXPECT_EQ(a.candidates[c].gate.optim.final_amps,
+                          b.candidates[c].gate.optim.final_amps)
+                    << "pool " << n << " gate " << i << " cand " << c;
+            }
+            EXPECT_EQ(a.best_index, b.best_index) << "pool " << n;
+            ASSERT_EQ(a.characterized, b.characterized) << "pool " << n;
+            if (a.characterized) expect_comparisons_bitwise_equal(a.comparison, b.comparison);
+        }
+    }
+}
+
+TEST(DesignPipelineDeterminism, SharedReferenceIsByteIdenticalToFreshReference) {
+    DesignPipelineOptions po;
+    po.rb = tiny_rb();
+    const DesignPipeline pipeline(exec(), defaults(), po);
+
+    // Any two characterizations on the same qubit share one reference...
+    pulse::Schedule idle("idle_x");
+    idle.insert(0, pulse::Delay{16, pulse::drive_channel(0)});
+    const GateComparison a = pipeline.characterize_1q("x", 0, idle);
+    const GateComparison b = pipeline.characterize_1q("sx", 0, idle);
+    expect_curves_bitwise_equal(a.custom.reference, b.custom.reference);
+    expect_curves_bitwise_equal(a.custom.reference, a.standard.reference);
+
+    // ...and that shared curve is bitwise a freshly measured one.
+    const rb::Clifford1Q group;
+    const rb::GateSet1Q gates(exec(), defaults(), 0, group);
+    expect_curves_bitwise_equal(a.custom.reference,
+                                rb::run_rb_1q(exec(), gates, 0, po.rb));
+}
+
+TEST(DesignPipelineDeterminism, IrbCustomUsesTheSharedReference) {
+    DesignPipelineOptions po;
+    po.rb = tiny_rb();
+    const DesignPipeline pipeline(exec(), defaults(), po);
+    pulse::Schedule idle("idle_x");
+    idle.insert(0, pulse::Delay{16, pulse::drive_channel(0)});
+    const rb::IrbResult solo = pipeline.irb_custom_1q("x", 0, idle);
+    const GateComparison full = pipeline.characterize_1q("x", 0, idle);
+    expect_curves_bitwise_equal(solo.reference, full.custom.reference);
+    expect_curves_bitwise_equal(solo.interleaved, full.custom.interleaved);
+    EXPECT_EQ(solo.gate_error, full.custom.gate_error);
+}
+
+}  // namespace
+}  // namespace qoc::experiments

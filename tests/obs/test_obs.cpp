@@ -1,6 +1,7 @@
 /// Core `qoc::obs` behavior: disabled-path no-ops, span nesting and
 /// per-thread merge ordering, ring overflow accounting, counter totals under
-/// OpenMP, and the JSONL / chrome-trace file formats (golden round-trip).
+/// concurrent threads, and the JSONL / chrome-trace file formats (golden
+/// round-trip).
 
 #include "obs/obs.hpp"
 
@@ -11,17 +12,14 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
-
-#ifdef QOC_HAVE_OPENMP
-#include <omp.h>
-#endif
 
 namespace qoc::obs {
 namespace {
 
 /// Every test starts and ends from a clean registry so ordering between
-/// tests (and any earlier-registered OpenMP worker slots) cannot leak state.
+/// tests (and any earlier-registered worker-thread slots) cannot leak state.
 class ObsTest : public ::testing::Test {
 protected:
     void SetUp() override { reset_for_testing(); }
@@ -88,25 +86,22 @@ TEST_F(ObsTest, SpanNestingPreservesContainment) {
 TEST_F(ObsTest, PerThreadRingsMergeTimeSorted) {
     enable_tracing("");
     constexpr int kSpansPerThread = 50;
-    int team = 1;
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel num_threads(4)
+    constexpr int kTeamSize = 4;
     {
-#pragma omp single
-        team = omp_get_num_threads();
-        for (int i = 0; i < kSpansPerThread; ++i) {
-            Span s("work");
-            tick();
+        std::vector<std::thread> team;
+        team.reserve(kTeamSize);
+        for (int t = 0; t < kTeamSize; ++t) {
+            team.emplace_back([] {
+                for (int i = 0; i < kSpansPerThread; ++i) {
+                    Span s("work");
+                    tick();
+                }
+            });
         }
+        for (auto& th : team) th.join();
     }
-#else
-    for (int i = 0; i < kSpansPerThread; ++i) {
-        Span s("work");
-        tick();
-    }
-#endif
     const auto events = snapshot_trace_events();
-    ASSERT_EQ(events.size(), static_cast<std::size_t>(team * kSpansPerThread));
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(kTeamSize * kSpansPerThread));
     std::set<std::uint32_t> tids;
     for (std::size_t i = 0; i < events.size(); ++i) {
         tids.insert(events[i].tid);
@@ -118,7 +113,7 @@ TEST_F(ObsTest, PerThreadRingsMergeTimeSorted) {
             EXPECT_TRUE(ordered) << "events out of (t0, tid) order at " << i;
         }
     }
-    EXPECT_EQ(tids.size(), static_cast<std::size_t>(team));
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(kTeamSize));
     EXPECT_EQ(dropped_trace_events(), 0u);
 }
 
@@ -133,27 +128,26 @@ TEST_F(ObsTest, RingOverflowKeepsNewestAndCountsDropped) {
     EXPECT_EQ(snapshot_trace_events().size(), kCapacity);
 }
 
-TEST_F(ObsTest, CounterTotalsSumAcrossOpenMpThreads) {
+TEST_F(ObsTest, CounterTotalsSumAcrossThreads) {
     enable_metrics("");  // memory-only: metrics without the JSONL stream
     EXPECT_TRUE(metrics_enabled());
     EXPECT_FALSE(telemetry_enabled());
     constexpr int kPerThread = 10000;
-    int team = 1;
-#ifdef QOC_HAVE_OPENMP
-#pragma omp parallel num_threads(4)
+    constexpr int kTeamSize = 4;
     {
-#pragma omp single
-        team = omp_get_num_threads();
-        for (int i = 0; i < kPerThread; ++i) count(Cnt::kGemmCalls);
-        count(Cnt::kGemvCalls, 7);
+        std::vector<std::thread> team;
+        team.reserve(kTeamSize);
+        for (int t = 0; t < kTeamSize; ++t) {
+            team.emplace_back([] {
+                for (int i = 0; i < kPerThread; ++i) count(Cnt::kGemmCalls);
+                count(Cnt::kGemvCalls, 7);
+            });
+        }
+        for (auto& th : team) th.join();
     }
-#else
-    for (int i = 0; i < kPerThread; ++i) count(Cnt::kGemmCalls);
-    count(Cnt::kGemvCalls, 7);
-#endif
     EXPECT_EQ(counter_value(Cnt::kGemmCalls),
-              static_cast<std::uint64_t>(team) * kPerThread);
-    EXPECT_EQ(counter_value(Cnt::kGemvCalls), static_cast<std::uint64_t>(team) * 7);
+              static_cast<std::uint64_t>(kTeamSize) * kPerThread);
+    EXPECT_EQ(counter_value(Cnt::kGemvCalls), static_cast<std::uint64_t>(kTeamSize) * 7);
     EXPECT_EQ(counter_value(Cnt::kLuFactorizations), 0u);
 }
 

@@ -131,19 +131,6 @@ TEST(LbfgsB, CallbackObservesMonotoneDecrease) {
     for (std::size_t i = 1; i < history.size(); ++i) EXPECT_LE(history[i], history[i - 1] + 1e-12);
 }
 
-TEST(LbfgsB, DeprecatedCallbackStillInvoked) {
-    // The legacy observer is deprecated but must keep firing until removed.
-    std::vector<int> iterations;
-    LbfgsBOptions opts;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    opts.callback = [&](int it, double, double) { iterations.push_back(it); };
-#pragma GCC diagnostic pop
-    lbfgsb_minimize(rosenbrock, {-1.2, 1.0}, Bounds::unbounded(2), opts);
-    ASSERT_GT(iterations.size(), 1u);
-    EXPECT_EQ(iterations.front(), 0);
-}
-
 TEST(LbfgsB, MismatchedBoundsThrow) {
     Bounds b = Bounds::unbounded(3);
     EXPECT_THROW(lbfgsb_minimize(quadratic({0.0, 0.0}), {0.0, 0.0}, b), std::invalid_argument);

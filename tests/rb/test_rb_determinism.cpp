@@ -4,9 +4,9 @@
 ///  1. Equivalence: survivals match the old composition order
 ///     (total = S_rec S_m ... S_1, then one apply) to ~1e-12 -- the two
 ///     orders differ only in floating-point association.
-///  2. Determinism: results are bit-identical across OpenMP thread counts;
-///     every seed owns a disjoint output slot, per-thread workspaces never
-///     leak state, and no reduction reorders sums (mirrors
+///  2. Determinism: results are bit-identical across task-pool sizes; every
+///     seed owns a disjoint output slot, pooled workspaces never leak
+///     state, and no reduction reorders sums (mirrors
 ///     test_grape_determinism.cpp).
 
 #include "rb/rb.hpp"
@@ -20,10 +20,7 @@
 #include "quantum/gates.hpp"
 #include "quantum/superop.hpp"
 #include "rb/leakage_rb.hpp"
-
-#ifdef QOC_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include "runtime/task_pool.hpp"
 
 namespace qoc::rb {
 namespace {
@@ -130,20 +127,11 @@ TEST(RbMatvec, MatchesComposedSuperopProduct2Q) {
     }
 }
 
-/// Runs `fn` with a fixed OpenMP thread count, restoring the previous one.
+/// Runs `fn` with a fixed task-pool size, restoring the previous one.
 template <typename Fn>
 auto with_threads(int n_threads, Fn&& fn) {
-#ifdef QOC_HAVE_OPENMP
-    const int prev = omp_get_max_threads();
-    omp_set_num_threads(n_threads);
-#else
-    (void)n_threads;
-#endif
-    auto result = fn();
-#ifdef QOC_HAVE_OPENMP
-    omp_set_num_threads(prev);
-#endif
-    return result;
+    runtime::ScopedPoolSize scoped(static_cast<std::size_t>(n_threads));
+    return fn();
 }
 
 void expect_curves_bitwise_equal(const RbCurve& a, const RbCurve& b, int threads) {

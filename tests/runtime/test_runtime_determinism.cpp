@@ -1,0 +1,127 @@
+/// The runtime's two cross-cutting contracts, pinned at the runtime layer
+/// itself (engine-level 1-vs-N suites live with GRAPE/RB):
+///
+///  1. Determinism: a parallel_for fan-out writing per-index slots plus an
+///     ordered reduction is bitwise identical for any pool size, any number
+///     of repeats, and any submission interleaving.
+///  2. Observability: the submitter's `qoc::obs` span id rides along with
+///     every task, so trace parent links survive task boundaries (including
+///     nested submits and parallel_for bodies).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "runtime/ordered.hpp"
+#include "runtime/task_pool.hpp"
+
+namespace qoc::runtime {
+namespace {
+
+/// A deliberately reassociation-sensitive per-index payload: accumulating
+/// these in any order other than index order changes the double result.
+double payload(std::size_t i) {
+    double x = 1.0 + static_cast<double>(i % 7) * 1e-13;
+    for (int k = 0; k < 50; ++k) x = std::sqrt(x * x + 1e-3) - 1e-3 / (2.0 * x);
+    return x * std::pow(10.0, static_cast<double>(i % 5) - 2.0);
+}
+
+double fan_out_sum(TaskPool& pool, std::size_t n) {
+    std::vector<double> slots(n, 0.0);
+    pool.parallel_for(0, n, [&slots](std::size_t i) { slots[i] = payload(i); });
+    return ordered_sum(slots);
+}
+
+TEST(RuntimeDeterminism, ParallelForOrderedSumBitIdenticalAcrossPoolSizes) {
+    TaskPool serial(1);
+    const double ref = fan_out_sum(serial, 333);
+    for (std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{8}}) {
+        TaskPool pool(n);
+        for (int rep = 0; rep < 3; ++rep) {
+            const double got = fan_out_sum(pool, 333);
+            EXPECT_EQ(ref, got) << "pool size " << n << " rep " << rep;
+        }
+    }
+}
+
+TEST(RuntimeDeterminism, SubmitFanOutBitIdenticalAcrossPoolSizes) {
+    auto run = [](TaskPool& pool) {
+        std::vector<Future<double>> futs;
+        futs.reserve(64);
+        for (std::size_t i = 0; i < 64; ++i) {
+            futs.push_back(pool.submit([i] { return payload(i); }));
+        }
+        std::vector<double> slots;
+        slots.reserve(64);
+        for (auto& f : futs) slots.push_back(f.get());
+        return ordered_sum(slots);
+    };
+    TaskPool serial(1);
+    const double ref = run(serial);
+    for (std::size_t n : {std::size_t{2}, std::size_t{8}}) {
+        TaskPool pool(n);
+        EXPECT_EQ(ref, run(pool)) << "pool size " << n;
+    }
+}
+
+TEST(RuntimeDeterminism, SpanParentPropagatesAcrossTaskBoundaries) {
+    obs::reset_for_testing();
+    obs::enable_tracing("");
+    std::uint64_t root_id = 0;
+    {
+        TaskPool pool(4);
+        obs::Span root("root");
+        root_id = obs::current_span();
+        ASSERT_NE(root_id, 0u);
+        TaskGroup group(pool);
+        for (int t = 0; t < 8; ++t) {
+            group.run([] { obs::Span child("child"); });
+        }
+        group.wait();
+    }
+    const auto events = obs::snapshot_trace_events();
+    std::size_t children = 0;
+    for (const auto& e : events) {
+        if (std::string_view(e.name) == "child") {
+            ++children;
+            EXPECT_EQ(e.parent, root_id)
+                << "task-executed span must parent to the submitter's span";
+        }
+    }
+    EXPECT_EQ(children, 8u);
+    obs::reset_for_testing();
+}
+
+TEST(RuntimeDeterminism, SpanParentPropagatesThroughNestedSubmits) {
+    obs::reset_for_testing();
+    obs::enable_tracing("");
+    {
+        TaskPool pool(2);
+        obs::Span root("root");
+        auto outer = pool.submit([&pool] {
+            obs::Span mid("mid");
+            auto inner = pool.submit([] { obs::Span leaf("leaf"); });
+            inner.get();
+        });
+        outer.get();
+    }
+    const auto events = obs::snapshot_trace_events();
+    std::uint64_t root_id = 0, mid_id = 0;
+    for (const auto& e : events) {
+        if (std::string_view(e.name) == "root") root_id = e.id;
+        if (std::string_view(e.name) == "mid") mid_id = e.id;
+    }
+    ASSERT_NE(root_id, 0u);
+    ASSERT_NE(mid_id, 0u);
+    for (const auto& e : events) {
+        if (std::string_view(e.name) == "mid") EXPECT_EQ(e.parent, root_id);
+        if (std::string_view(e.name) == "leaf") EXPECT_EQ(e.parent, mid_id);
+    }
+    obs::reset_for_testing();
+}
+
+}  // namespace
+}  // namespace qoc::runtime

@@ -1,0 +1,205 @@
+/// `qoc::runtime::TaskPool` semantics: futures and exception propagation,
+/// helping waits (no deadlock at any pool size, including 1), nested
+/// submit-from-task, oversubscription stress, `parallel_for` coverage and
+/// its serial fast path, and the QOC_THREADS parser.
+
+#include "runtime/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/ordered.hpp"
+
+namespace qoc::runtime {
+namespace {
+
+TEST(TaskPool, SizeCountsTheSubmittingThread) {
+    TaskPool p1(1);
+    EXPECT_EQ(p1.size(), 1u);
+    TaskPool p4(4);
+    EXPECT_EQ(p4.size(), 4u);
+}
+
+TEST(TaskPool, FutureReturnsTaskValue) {
+    TaskPool pool(3);
+    auto f = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(TaskPool, FutureGetHelpsWithZeroWorkers) {
+    // Pool size 1 has no worker threads: the submitted task can only run
+    // when get() helps.  A non-helping wait would deadlock here.
+    TaskPool pool(1);
+    auto f = pool.submit([] { return std::string("ran inline"); });
+    EXPECT_EQ(f.get(), "ran inline");
+}
+
+TEST(TaskPool, FuturePropagatesTaskException) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{4}}) {
+        TaskPool pool(n);
+        auto f = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+        EXPECT_THROW(
+            {
+                try {
+                    f.get();
+                } catch (const std::runtime_error& e) {
+                    EXPECT_STREQ(e.what(), "task failed");
+                    throw;
+                }
+            },
+            std::runtime_error);
+    }
+}
+
+TEST(TaskPool, NestedSubmitFromInsideTask) {
+    // A task that submits subtasks and waits on them (the design pipeline's
+    // chain tasks do exactly this).  Helping waits make it safe even when
+    // every thread of the pool is already busy.
+    for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        TaskPool pool(n);
+        auto outer = pool.submit([&pool] {
+            std::vector<Future<int>> inner;
+            inner.reserve(8);
+            for (int i = 0; i < 8; ++i) {
+                inner.push_back(pool.submit([i] { return i * i; }));
+            }
+            int sum = 0;
+            for (auto& f : inner) sum += f.get();
+            return sum;
+        });
+        EXPECT_EQ(outer.get(), 0 + 1 + 4 + 9 + 16 + 25 + 36 + 49) << "pool size " << n;
+    }
+}
+
+TEST(TaskPool, OversubscriptionStress) {
+    // Many more tasks than threads, each spawning a subtask: exercises the
+    // injection queue, stealing and the wake protocol under churn.
+    TaskPool pool(8);
+    constexpr int kTasks = 200;
+    std::atomic<int> ran{0};
+    std::vector<Future<int>> futs;
+    futs.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futs.push_back(pool.submit([&pool, &ran, i] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            auto sub = pool.submit([i] { return 2 * i; });
+            return sub.get() + 1;
+        }));
+    }
+    long total = 0;
+    for (auto& f : futs) total += f.get();
+    EXPECT_EQ(ran.load(), kTasks);
+    EXPECT_EQ(total, 2L * (kTasks * (kTasks - 1) / 2) + kTasks);
+}
+
+TEST(TaskGroup, WaitsForAllTasks) {
+    TaskPool pool(4);
+    constexpr std::size_t kN = 64;
+    std::vector<int> slots(kN, 0);
+    {
+        TaskGroup group(pool);
+        for (std::size_t i = 0; i < kN; ++i) {
+            group.run([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+        }
+        group.wait();
+    }
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(slots[i], static_cast<int>(i) + 1) << "slot " << i;
+    }
+}
+
+TEST(TaskGroup, WaitRethrowsFirstTaskException) {
+    TaskPool pool(2);
+    TaskGroup group(pool);
+    group.run([] {});
+    group.run([] { throw std::logic_error("group task failed"); });
+    EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        TaskPool pool(n);
+        constexpr std::size_t kN = 500;
+        std::vector<std::atomic<int>> hits(kN);
+        pool.parallel_for(0, kN, [&hits](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < kN; ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "pool size " << n << " index " << i;
+        }
+    }
+}
+
+TEST(ParallelFor, EmptyAndSingleIndexRanges) {
+    TaskPool pool(4);
+    int ran = 0;
+    pool.parallel_for(5, 5, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 0);
+    pool.parallel_for(7, 8, [&](std::size_t i) {
+        EXPECT_EQ(i, 7u);
+        ++ran;
+    });
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(ParallelFor, RethrowsBodyExceptionAfterCompletingAllIndices) {
+    // No cancellation: every index runs even when one throws (the engines
+    // rely on complete per-index output slots).
+    for (std::size_t n : {std::size_t{1}, std::size_t{4}}) {
+        TaskPool pool(n);
+        constexpr std::size_t kN = 64;
+        std::vector<std::atomic<int>> hits(kN);
+        auto body = [&hits](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+            if (i == 13) throw std::runtime_error("body failed");
+        };
+        EXPECT_THROW(pool.parallel_for(0, kN, body), std::runtime_error);
+        for (std::size_t i = 0; i < kN; ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "pool size " << n << " index " << i;
+        }
+    }
+}
+
+TEST(ScopedPoolSizeTest, PinsAndRestoresGlobalPool) {
+    const std::size_t before = TaskPool::global().size();
+    {
+        ScopedPoolSize scoped(3);
+        EXPECT_EQ(TaskPool::global().size(), 3u);
+        {
+            ScopedPoolSize nested(1);
+            EXPECT_EQ(TaskPool::global().size(), 1u);
+        }
+        EXPECT_EQ(TaskPool::global().size(), 3u);
+    }
+    EXPECT_EQ(TaskPool::global().size(), before);
+}
+
+TEST(ParseThreadCount, AcceptsPositiveIntegersRejectsGarbage) {
+    EXPECT_EQ(detail::parse_thread_count("4"), 4u);
+    EXPECT_EQ(detail::parse_thread_count("1"), 1u);
+    EXPECT_EQ(detail::parse_thread_count("16"), 16u);
+    EXPECT_EQ(detail::parse_thread_count(nullptr), 0u);
+    EXPECT_EQ(detail::parse_thread_count(""), 0u);
+    EXPECT_EQ(detail::parse_thread_count("0"), 0u);
+    EXPECT_EQ(detail::parse_thread_count("-2"), 0u);
+    EXPECT_EQ(detail::parse_thread_count("abc"), 0u);
+    EXPECT_EQ(detail::parse_thread_count("4x"), 0u);
+}
+
+TEST(Ordered, SumAndMeanAreSerialIndexOrder) {
+    // ordered_sum must associate strictly left-to-right: compare against a
+    // hand-rolled serial loop on values chosen to expose reassociation.
+    std::vector<double> xs = {1e16, 1.0, -1e16, 1.0, 0.5, 1e-8};
+    double serial = 0.0;
+    for (const double x : xs) serial += x;
+    EXPECT_EQ(ordered_sum(xs), serial);
+    EXPECT_EQ(ordered_mean(xs), serial / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+}  // namespace qoc::runtime
