@@ -148,6 +148,102 @@ void BM_GrapeObjectiveClosed(benchmark::State& state) {
 }
 BENCHMARK(BM_GrapeObjectiveClosed)->Arg(16)->Arg(48)->Arg(128);
 
+/// Open-system (Lindblad superoperator) objective + gradient on the paper's
+/// 3-level transmon: 9x9 generators, kTraceDiff fidelity.  This is the
+/// workload the `linalg::simd` kernel routing targets -- the expm/Frechet
+/// gemms and LU solves dominate here.
+void BM_GrapeObjectiveOpen(benchmark::State& state) {
+    control::GrapeProblem prob;
+    const linalg::Mat h0 = quantum::duffing_drift(3, 0.0, -2.0);
+    const std::vector<linalg::Mat> c_ops = {0.01 * quantum::annihilation(3),
+                                            0.01 * quantum::number_op(3)};
+    prob.system.drift = quantum::liouvillian(h0, c_ops);
+    prob.system.ctrls = {quantum::liouvillian_hamiltonian(0.5 * quantum::drive_x(3)),
+                         quantum::liouvillian_hamiltonian(0.5 * quantum::drive_y(3))};
+    linalg::Mat x3(3, 3);  // X on the qubit subspace, identity on leakage
+    x3(0, 1) = 1.0;
+    x3(1, 0) = 1.0;
+    x3(2, 2) = 1.0;
+    prob.target = quantum::unitary_superop(x3);
+    prob.fidelity = control::FidelityType::kTraceDiff;
+    prob.n_timeslots = static_cast<std::size_t>(state.range(0));
+    prob.evo_time = 100.0;
+    prob.initial_amps.assign(prob.n_timeslots, {0.05, 0.01});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(control::grape_gradient_descent(prob, 0.0, 1));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GrapeObjectiveOpen)->Arg(16)->Arg(48)->Arg(128);
+
+// --- structured superoperator apply: dense matvec vs factored/CSR -----------
+//
+// Args are (d, path): Hilbert dimension and 0 = dense d^2 x d^2 matvec
+// (the legacy arithmetic), 1 = Kronecker-factored apply (O((2+n_c) d^3)),
+// 2 = StructuredSuperOp dispatch (CSR when sparse enough, SIMD dense gemv
+// otherwise).  d = 3 and d = 9 are the paper's transmon and pair sizes.
+
+void BM_SuperopApply(benchmark::State& state) {
+    const auto d = static_cast<std::size_t>(state.range(0));
+    const linalg::Mat h = random_hermitian(d, 11);
+    const std::vector<linalg::Mat> c_ops = {0.1 * quantum::annihilation(d),
+                                            0.05 * quantum::number_op(d)};
+    const linalg::Mat dense = quantum::liouvillian(h, c_ops);
+    const quantum::KronSuperOp kron = quantum::KronSuperOp::liouvillian(h, c_ops);
+    const auto structured = quantum::StructuredSuperOp::from_dense(dense);
+
+    linalg::Mat rho(d, d);
+    rho(0, 0) = 1.0;
+    linalg::Mat v(d * d, 1);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) v(j * d + i, 0) = rho(i, j);
+    }
+    linalg::Mat out, scratch;
+    switch (state.range(1)) {
+        case 0:
+            for (auto _ : state) {
+                quantum::apply_superop_into(dense, v, out);
+                benchmark::DoNotOptimize(out);
+            }
+            break;
+        case 1:
+            for (auto _ : state) {
+                kron.apply_vec_into(v, out, scratch);
+                benchmark::DoNotOptimize(out);
+            }
+            break;
+        default:
+            for (auto _ : state) {
+                structured.apply_into(v, out);
+                benchmark::DoNotOptimize(out);
+            }
+            break;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SuperopApply)
+    ->Args({3, 0})->Args({3, 1})->Args({3, 2})
+    ->Args({9, 0})->Args({9, 1})->Args({9, 2});
+
+/// Batched SoA apply: one d^2 x B gemm vs B strided single-column applies
+/// of the same structured superop -- the RB seed-block engine's two paths.
+void BM_SuperopApplyBatched(benchmark::State& state) {
+    const auto d = static_cast<std::size_t>(state.range(0));
+    const auto batch = static_cast<std::size_t>(state.range(1));
+    const linalg::Mat h = random_hermitian(d, 13);
+    const auto structured =
+        quantum::StructuredSuperOp::from_dense(quantum::liouvillian(h, {}));
+    linalg::Mat x(d * d, batch);
+    for (std::size_t j = 0; j < batch; ++j) x(0, j) = 1.0;
+    linalg::Mat out(d * d, batch);
+    for (auto _ : state) {
+        structured.apply_batch_into(x, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SuperopApplyBatched)->Args({3, 8})->Args({3, 32})->Args({9, 8});
+
 void BM_LindbladPropagator1q(benchmark::State& state) {
     device::PulseExecutor exec(device::ibmq_montreal());
     const auto wf = pulse::drag_waveform(static_cast<std::size_t>(state.range(0)), {0.1, 0.0},

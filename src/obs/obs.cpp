@@ -77,6 +77,9 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "rb.clifford_memo.hits",
     "rb.clifford_memo.misses",
     "quantum.superop.applies",
+    "quantum.superop.csr_applies",
+    "quantum.superop.kron_applies",
+    "quantum.superop.batch_applies",
     "linalg.expm.pade3",
     "linalg.expm.pade5",
     "linalg.expm.pade7",

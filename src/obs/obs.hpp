@@ -67,7 +67,10 @@ enum class Cnt : unsigned {
     kPropCacheMisses,   ///< executor amplitude->propagator cache misses
     kCliffMemoHits,     ///< 2Q Clifford superop memo hits
     kCliffMemoMisses,   ///< 2Q Clifford superop memo misses (compositions)
-    kSuperopApplies,    ///< vec(rho) matvec propagation steps
+    kSuperopApplies,    ///< vec(rho) matvec propagation steps (dense kernel)
+    kSuperopCsrApplies,  ///< vec(rho) propagation steps through the CSR kernel
+    kSuperopKronApplies, ///< factored Kronecker-term applies (never d^2 x d^2)
+    kSuperopBatchApplies, ///< batched d^2 x B applies (one per Clifford step)
     kExpmPade3,         ///< expm/Frechet calls at Pade order 3
     kExpmPade5,
     kExpmPade7,

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "quantum/superop_kron.hpp"
+#include "quantum/superop_structured.hpp"
 
 namespace qoc::quantum {
 
@@ -35,6 +37,16 @@ Mat apply_superop(const Mat& superop, const Mat& rho);
 /// once it has seen the shape).  This is the O(d^4) propagation step the RB
 /// engine uses in place of O(d^6) superoperator composition.
 void apply_superop_into(const Mat& superop, const Mat& vec_rho, Mat& out);
+
+/// Structured-dispatch overload: same contract, but the action runs through
+/// the CSR or dense SIMD kernel the wrapped operator selected at
+/// construction (`StructuredSuperOp::kind`).
+void apply_superop_into(const StructuredSuperOp& superop, const Mat& vec_rho, Mat& out);
+
+/// Kronecker-factored overload: O(k d^3) two-sided updates on the reshaped
+/// d x d state, never materializing the d^2 x d^2 matrix.  `scratch` is
+/// caller-owned d x d workspace (see KronSuperOp::apply_vec_into).
+void apply_superop_into(const KronSuperOp& superop, const Mat& vec_rho, Mat& out, Mat& scratch);
 
 /// True when the superoperator preserves trace: vec(I)^T S = vec(I)^T.
 bool is_trace_preserving(const Mat& superop, double tol = 1e-9);

@@ -1,0 +1,175 @@
+#include "quantum/superop_kron.hpp"
+
+#include <stdexcept>
+
+#include "contracts/matrix_checks.hpp"
+#include "linalg/kron.hpp"
+#include "linalg/simd_kernels.hpp"
+#include "obs/obs.hpp"
+
+namespace qoc::quantum {
+
+namespace {
+
+constexpr linalg::cplx kI{0.0, 1.0};
+
+/// out (+)= src, element-wise (identity-factor term; no products involved).
+void add_or_copy(const Mat& src, Mat& out, bool accumulate) {
+    const std::size_t n = src.rows() * src.cols();
+    const cplx* s = src.data().data();
+    cplx* o = out.data().data();
+    if (accumulate) {
+        for (std::size_t i = 0; i < n; ++i) o[i] += s[i];
+    } else {
+        for (std::size_t i = 0; i < n; ++i) o[i] = s[i];
+    }
+}
+
+}  // namespace
+
+void KronSuperOp::add_term(const Mat& a, const Mat& b) {
+    std::size_t d = 0;
+    if (!a.empty()) {
+        if (!a.is_square()) throw std::invalid_argument("KronSuperOp: non-square left factor");
+        d = a.rows();
+    }
+    if (!b.empty()) {
+        if (!b.is_square()) throw std::invalid_argument("KronSuperOp: non-square right factor");
+        if (d != 0 && b.rows() != d)
+            throw std::invalid_argument("KronSuperOp: factor dimension mismatch");
+        d = b.rows();
+    }
+    if (d == 0) throw std::invalid_argument("KronSuperOp: both factors empty");
+    if (dim_ != 0 && d != dim_)
+        throw std::invalid_argument("KronSuperOp: term dimension mismatch");
+    dim_ = d;
+
+    Term t;
+    t.a = a;
+    t.b = b;
+    if (!a.empty()) t.at = a.transpose();
+    if (!b.empty()) t.bt = b.transpose();
+    terms_.push_back(std::move(t));
+}
+
+KronSuperOp KronSuperOp::hamiltonian(const Mat& h) {
+    if (!h.is_square()) throw std::invalid_argument("KronSuperOp::hamiltonian: non-square H");
+    contracts::check_hermitian(h, "KronSuperOp::hamiltonian: H");
+    const Mat k = (-kI) * h;  // K = -iH; L rho = K rho + rho K^dagger
+    KronSuperOp s;
+    s.add_term(k, Mat{});
+    s.add_term(Mat{}, k.adjoint());
+    contracts::check_trace_annihilating_action(s.trace_action(), "KronSuperOp::hamiltonian");
+    return s;
+}
+
+KronSuperOp KronSuperOp::liouvillian(const Mat& h, const std::vector<Mat>& collapse_ops) {
+    if (!h.is_square()) throw std::invalid_argument("KronSuperOp::liouvillian: non-square H");
+    contracts::check_hermitian(h, "KronSuperOp::liouvillian: H");
+    const std::size_t d = h.rows();
+    // K = -iH - 1/2 sum_k C_k^dagger C_k, so that
+    //   L rho = K rho + rho K^dagger + sum_k C_k rho C_k^dagger.
+    Mat k = (-kI) * h;
+    for (const Mat& c : collapse_ops) {
+        if (c.rows() != d || c.cols() != d)
+            throw std::invalid_argument("KronSuperOp::liouvillian: collapse op shape mismatch");
+        k = k + cplx{-0.5, 0.0} * linalg::adjoint_times(c, c);
+    }
+    KronSuperOp s;
+    s.add_term(k, Mat{});
+    s.add_term(Mat{}, k.adjoint());
+    for (const Mat& c : collapse_ops) s.add_term(c, c.adjoint());
+    contracts::check_trace_annihilating_action(s.trace_action(), "KronSuperOp::liouvillian");
+    return s;
+}
+
+KronSuperOp KronSuperOp::unitary(const Mat& u) {
+    if (!u.is_square()) throw std::invalid_argument("KronSuperOp::unitary: non-square U");
+    contracts::check_unitary(u, "KronSuperOp::unitary: U", 1e-7);
+    KronSuperOp s;
+    s.add_term(u, u.adjoint());
+    contracts::check_trace_preserving_action(s.trace_action(), "KronSuperOp::unitary", 1e-7);
+    return s;
+}
+
+void KronSuperOp::apply_rho_into(const Mat& rho, Mat& out, Mat& scratch) const {
+    if (rho.rows() != dim_ || rho.cols() != dim_)
+        throw std::invalid_argument("KronSuperOp::apply_rho_into: shape mismatch");
+    obs::count(obs::Cnt::kSuperopKronApplies);
+    out.resize(dim_, dim_);
+    scratch.resize(dim_, dim_);
+    const std::size_t d = dim_;
+    bool first = true;
+    for (const Term& t : terms_) {
+        const bool acc = !first;
+        if (!t.a.empty() && !t.b.empty()) {
+            linalg::simd::gemm_raw(t.a.data().data(), rho.data().data(),
+                                   scratch.data().data(), d, d, d, /*accumulate=*/false);
+            linalg::simd::gemm_raw(scratch.data().data(), t.b.data().data(),
+                                   out.data().data(), d, d, d, acc);
+        } else if (!t.a.empty()) {
+            linalg::simd::gemm_raw(t.a.data().data(), rho.data().data(), out.data().data(),
+                                   d, d, d, acc);
+        } else if (!t.b.empty()) {
+            linalg::simd::gemm_raw(rho.data().data(), t.b.data().data(), out.data().data(),
+                                   d, d, d, acc);
+        } else {
+            add_or_copy(rho, out, acc);
+        }
+        first = false;
+    }
+}
+
+void KronSuperOp::apply_vec_into(const Mat& vec_rho, Mat& out, Mat& scratch) const {
+    if (vec_rho.cols() != 1 || vec_rho.rows() != dim_ * dim_)
+        throw std::invalid_argument("KronSuperOp::apply_vec_into: shape mismatch");
+    obs::count(obs::Cnt::kSuperopKronApplies);
+    out.resize(dim_ * dim_, 1);
+    scratch.resize(dim_, dim_);
+    const std::size_t d = dim_;
+    // The row-major d^2 buffer of a column-stacked vec(rho) reinterpreted as
+    // a row-major d x d matrix is M = rho^T; the term rho -> A rho B is then
+    // M' = B^T M A^T (factors pre-transposed in Term::bt / Term::at).
+    const cplx* m = vec_rho.data().data();
+    cplx* o = out.data().data();
+    bool first = true;
+    for (const Term& t : terms_) {
+        const bool acc = !first;
+        if (!t.a.empty() && !t.b.empty()) {
+            linalg::simd::gemm_raw(t.bt.data().data(), m, scratch.data().data(), d, d, d,
+                                   /*accumulate=*/false);
+            linalg::simd::gemm_raw(scratch.data().data(), t.at.data().data(), o, d, d, d, acc);
+        } else if (!t.b.empty()) {
+            linalg::simd::gemm_raw(t.bt.data().data(), m, o, d, d, d, acc);
+        } else if (!t.a.empty()) {
+            linalg::simd::gemm_raw(m, t.at.data().data(), o, d, d, d, acc);
+        } else {
+            add_or_copy(vec_rho, out, acc);
+        }
+        first = false;
+    }
+}
+
+Mat KronSuperOp::to_dense() const {
+    const Mat eye = Mat::identity(dim_);
+    Mat s(dim_ * dim_, dim_ * dim_);
+    for (const Term& t : terms_) {
+        const Mat& a = t.a.empty() ? eye : t.a;
+        const Mat bt = t.b.empty() ? eye : t.b.transpose();
+        s = s + linalg::kron(bt, a);
+    }
+    return s;
+}
+
+Mat KronSuperOp::trace_action() const {
+    const Mat eye = Mat::identity(dim_);
+    Mat t_out(dim_, dim_);
+    for (const Term& t : terms_) {
+        const Mat& a = t.a.empty() ? eye : t.a;
+        const Mat& b = t.b.empty() ? eye : t.b;
+        t_out = t_out + b * a;
+    }
+    return t_out;
+}
+
+}  // namespace qoc::quantum

@@ -1,0 +1,103 @@
+#include "quantum/superop_structured.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "linalg/simd_kernels.hpp"
+#include "obs/obs.hpp"
+
+namespace qoc::quantum {
+
+StructuredSuperOp StructuredSuperOp::from_dense(const Mat& superop, double fill_cutoff) {
+    if (!superop.is_square())
+        throw std::invalid_argument("StructuredSuperOp::from_dense: non-square superoperator");
+    StructuredSuperOp s;
+    s.dense_ = superop;
+    linalg::CsrMat csr = linalg::CsrMat::from_dense(superop, /*threshold=*/0.0);
+    if (csr.fill_fraction() <= fill_cutoff) {
+        s.csr_ = std::move(csr);
+        s.kind_ = Kind::kCsr;
+    } else {
+        s.kind_ = Kind::kDense;
+    }
+    return s;
+}
+
+double StructuredSuperOp::fill_fraction() const noexcept {
+    if (dense_.rows() == 0) return 1.0;
+    std::size_t nnz = 0;
+    for (const cplx& v : dense_.data())
+        if (v != cplx{0.0, 0.0}) ++nnz;
+    return static_cast<double>(nnz) /
+           static_cast<double>(dense_.rows() * dense_.cols());
+}
+
+void StructuredSuperOp::apply_into(const Mat& vec_rho, Mat& out) const {
+    if (vec_rho.cols() != 1 || vec_rho.rows() != dim())
+        throw std::invalid_argument("StructuredSuperOp::apply_into: shape mismatch");
+    out.resize(dim(), 1);
+    if (kind_ == Kind::kCsr) {
+        obs::count(obs::Cnt::kSuperopCsrApplies);
+        csr_.apply_col(vec_rho.data().data(), out.data().data(), /*stride=*/1);
+    } else {
+        obs::count(obs::Cnt::kSuperopApplies);
+        linalg::simd::gemm_raw(dense_.data().data(), vec_rho.data().data(),
+                               out.data().data(), dim(), dim(), 1, /*accumulate=*/false);
+    }
+}
+
+void StructuredSuperOp::apply_col(const cplx* in, cplx* out, std::size_t stride) const noexcept {
+    if (kind_ == Kind::kCsr) {
+        obs::count(obs::Cnt::kSuperopCsrApplies);
+        csr_.apply_col(in, out, stride);
+    } else {
+        obs::count(obs::Cnt::kSuperopApplies);
+        linalg::simd::gemv_strided(dense_.data().data(), dim(), in, out, stride,
+                                   /*accumulate=*/false);
+    }
+}
+
+void StructuredSuperOp::apply_batch_into(const Mat& batch, Mat& out) const {
+    if (batch.rows() != dim())
+        throw std::invalid_argument("StructuredSuperOp::apply_batch_into: shape mismatch");
+    out.resize(dim(), batch.cols());
+    obs::count(obs::Cnt::kSuperopBatchApplies);
+    if (kind_ == Kind::kCsr) {
+        csr_.apply_batch_into(batch, out);
+    } else {
+        linalg::simd::gemm_raw(dense_.data().data(), batch.data().data(), out.data().data(),
+                               dim(), dim(), batch.cols(), /*accumulate=*/false);
+    }
+}
+
+namespace {
+
+// -1: follow the environment; 0 / 1: programmatic override (tests).
+std::atomic<int> g_dense_override{-1};
+
+bool env_dense_forced() noexcept {
+    static const bool forced = [] {
+        const char* e = std::getenv("QOC_DENSE_SUPEROP");
+        return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+    }();
+    return forced;
+}
+
+}  // namespace
+
+bool dense_superop_forced() noexcept {
+    const int o = g_dense_override.load(std::memory_order_relaxed);
+    if (o >= 0) return o != 0;
+    return env_dense_forced();
+}
+
+void force_dense_superop(bool forced) noexcept {
+    g_dense_override.store(forced ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_dense_superop_override() noexcept {
+    g_dense_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace qoc::quantum

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "device/executor.hpp"
+#include "quantum/superop_structured.hpp"
 #include "rb/clifford1q.hpp"
 #include "rb/clifford2q.hpp"
 
@@ -35,6 +36,13 @@ struct RbOptions {
     std::size_t seeds_per_length = 8;   ///< independent random sequences
     int shots = 1024;
     std::uint64_t rng_seed = 2022;
+    /// Width of the structure-of-arrays seed blocks the batched engine
+    /// propagates with one d^2 x B apply per Clifford step.  0 = auto
+    /// (seeds spread evenly over the task pool, capped at 32).  Any value
+    /// yields bitwise-identical per-seed survivals -- the simd kernel
+    /// family's lane-stability contract makes the partition unobservable --
+    /// so this is purely a throughput knob.
+    std::size_t seed_block = 0;
 };
 
 struct RbPoint {
@@ -70,14 +78,21 @@ public:
               std::size_t qubit, const Clifford1Q& group);
 
     /// Superoperator implementing Clifford `i` at pulse level.
-    const Mat& clifford_superop(std::size_t i) const { return cliff_super_.at(i); }
+    const Mat& clifford_superop(std::size_t i) const { return cliff_super_.at(i).dense(); }
+
+    /// Structured (CSR-or-dense SIMD) form of the same superoperator -- the
+    /// batched seed engine's apply path.  rz-only Cliffords compress to
+    /// exactly diagonal CSR; dispatch happened at construction.
+    const quantum::StructuredSuperOp& clifford_structured(std::size_t i) const {
+        return cliff_super_.at(i);
+    }
 
     const Clifford1Q& group() const { return group_; }
     std::size_t dim() const { return dim_; }
 
 private:
     const Clifford1Q& group_;
-    std::vector<Mat> cliff_super_;
+    std::vector<quantum::StructuredSuperOp> cliff_super_;
     std::size_t dim_ = 0;
 };
 
@@ -117,6 +132,10 @@ public:
     /// composed on first use, cached afterwards.
     const Mat& clifford_superop(std::size_t i) const;
 
+    /// Structured form of the same memo entry (built under the same
+    /// once_flag, so dense and structured caches fill together).
+    const quantum::StructuredSuperOp& clifford_structured(std::size_t i) const;
+
     /// Eagerly fills the whole cache (parallel on the runtime task pool).
     /// Worth calling ahead
     /// of runs whose sequences will touch most of the group; lazy filling is
@@ -133,7 +152,7 @@ private:
     const Clifford2Q& group_;
     Mat x_super_[2], sx_super_[2], cx_super_;
     const PulseExecutor& exec_;
-    mutable std::vector<Mat> cliff_cache_;
+    mutable std::vector<quantum::StructuredSuperOp> cliff_cache_;
     mutable std::unique_ptr<std::once_flag[]> cliff_once_;
 };
 

@@ -1,0 +1,175 @@
+/// Determinism contracts of the batched (structure-of-arrays) RB seed
+/// engine introduced with the structured superoperator kernels:
+///
+///  1. Partition invariance: any `seed_block` width -- scalar per-seed
+///     blocks, the auto thread-spread width, one huge block -- commits
+///     bitwise-identical curves, because the simd kernel family accumulates
+///     each output element in the same order on the batched, strided and
+///     single-column paths.
+///  2. Thread invariance: 1-vs-N task-pool sizes are bitwise identical even
+///     though the auto block width depends on the pool size.
+///  3. Dense-vs-structured: forcing the legacy dense path (the
+///     `QOC_DENSE_SUPEROP` escape hatch) reproduces the batched curves to
+///     1e-12 -- the two engines differ only in floating-point association.
+
+#include "rb/rb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/calibration.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/superop_structured.hpp"
+#include "rb/leakage_rb.hpp"
+#include "runtime/task_pool.hpp"
+
+namespace qoc::rb {
+namespace {
+
+device::PulseExecutor& exec() {
+    static device::PulseExecutor instance{device::ibmq_montreal()};
+    return instance;
+}
+
+const pulse::InstructionScheduleMap& defaults() {
+    static pulse::InstructionScheduleMap map = device::build_default_gates(exec());
+    return map;
+}
+
+const Clifford1Q& c1() {
+    static Clifford1Q instance;
+    return instance;
+}
+
+const GateSet1Q& gates1q() {
+    static GateSet1Q instance{exec(), defaults(), 0, c1()};
+    return instance;
+}
+
+RbOptions small_opts() {
+    RbOptions opts;
+    opts.lengths = {1, 20, 40};
+    opts.seeds_per_length = 6;
+    opts.shots = 1024;
+    return opts;
+}
+
+void expect_bitwise(const RbCurve& a, const RbCurve& b, const char* what) {
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].mean_survival, b.points[i].mean_survival) << what << " i=" << i;
+        EXPECT_EQ(a.points[i].sem, b.points[i].sem) << what << " i=" << i;
+    }
+    EXPECT_EQ(a.alpha, b.alpha) << what;
+    EXPECT_EQ(a.epc, b.epc) << what;
+}
+
+TEST(RbBatchedDeterminism, SeedBlockWidthIsUnobservable1Q) {
+    RbOptions opts = small_opts();
+    opts.seed_block = 0;  // auto
+    const RbCurve ref = run_rb_1q(exec(), gates1q(), 0, opts);
+    for (std::size_t block : {1ul, 2ul, 3ul, 6ul, 32ul}) {
+        opts.seed_block = block;
+        expect_bitwise(ref, run_rb_1q(exec(), gates1q(), 0, opts), "seed_block");
+    }
+}
+
+TEST(RbBatchedDeterminism, BatchedVsScalarSeedPropagation1Q) {
+    // seed_block = 1 degenerates every block to the single-seed (scalar)
+    // propagation; the wide block exercises the d^2 x B broadcast path.
+    RbOptions scalar = small_opts();
+    scalar.seed_block = 1;
+    RbOptions wide = small_opts();
+    wide.seed_block = wide.seeds_per_length;
+    expect_bitwise(run_rb_1q(exec(), gates1q(), 0, scalar),
+                   run_rb_1q(exec(), gates1q(), 0, wide), "scalar-vs-batched");
+}
+
+TEST(RbBatchedDeterminism, ThreadCountIsUnobservableDespiteAutoWidth) {
+    // The auto block width DEPENDS on the pool size; bitwise equality across
+    // pool sizes is exactly the partition-invariance corollary.
+    const RbOptions opts = small_opts();
+    auto run = [&] { return run_rb_1q(exec(), gates1q(), 0, opts); };
+    RbCurve ref;
+    {
+        runtime::ScopedPoolSize scoped(1);
+        ref = run();
+    }
+    for (std::size_t threads : {2ul, 4ul}) {
+        runtime::ScopedPoolSize scoped(threads);
+        expect_bitwise(ref, run(), "threads");
+    }
+}
+
+TEST(RbBatchedDeterminism, DenseEscapeHatchAgreesToTolerance1Q) {
+    const RbOptions opts = small_opts();
+    const RbCurve batched = run_rb_1q(exec(), gates1q(), 0, opts);
+    quantum::force_dense_superop(true);
+    const RbCurve dense = run_rb_1q(exec(), gates1q(), 0, opts);
+    quantum::clear_dense_superop_override();
+
+    ASSERT_EQ(batched.points.size(), dense.points.size());
+    for (std::size_t i = 0; i < batched.points.size(); ++i) {
+        EXPECT_NEAR(batched.points[i].mean_survival, dense.points[i].mean_survival, 1e-12)
+            << "i=" << i;
+    }
+    EXPECT_NEAR(batched.epc, dense.epc, 1e-9);
+}
+
+TEST(RbBatchedDeterminism, DenseEscapeHatchAgreesToToleranceLeakage) {
+    RbOptions opts = small_opts();
+    opts.lengths = {1, 15, 30};
+    const LeakageRbResult batched = run_leakage_rb_1q(exec(), gates1q(), opts);
+    quantum::force_dense_superop(true);
+    const LeakageRbResult dense = run_leakage_rb_1q(exec(), gates1q(), opts);
+    quantum::clear_dense_superop_override();
+
+    ASSERT_EQ(batched.leakage_population.size(), dense.leakage_population.size());
+    for (std::size_t i = 0; i < batched.leakage_population.size(); ++i) {
+        EXPECT_NEAR(batched.leakage_population[i], dense.leakage_population[i], 1e-12)
+            << "i=" << i;
+    }
+    EXPECT_NEAR(batched.lambda, dense.lambda, 1e-9);
+}
+
+TEST(RbBatchedDeterminism, LeakageSeedBlockWidthIsUnobservable) {
+    RbOptions opts = small_opts();
+    opts.lengths = {1, 15, 30};
+    opts.seed_block = 0;
+    const LeakageRbResult ref = run_leakage_rb_1q(exec(), gates1q(), opts);
+    for (std::size_t block : {1ul, 4ul, 32ul}) {
+        opts.seed_block = block;
+        const LeakageRbResult other = run_leakage_rb_1q(exec(), gates1q(), opts);
+        ASSERT_EQ(ref.leakage_population.size(), other.leakage_population.size());
+        for (std::size_t i = 0; i < ref.leakage_population.size(); ++i) {
+            EXPECT_EQ(ref.leakage_population[i], other.leakage_population[i]) << "i=" << i;
+        }
+        EXPECT_EQ(ref.lambda, other.lambda);
+    }
+}
+
+TEST(RbBatchedDeterminism, InterleavedBatchAgreesWithDense1Q) {
+    // IRB adds the broadcast interleave step (one apply_batch_into per
+    // Clifford step for the whole block) on top of the mixed per-seed steps.
+    const Mat x_super = exec().schedule_superop_1q(defaults().get("x", {0}), 0);
+    const std::size_t x_index = c1().find(quantum::gates::x());
+    RbOptions opts = small_opts();
+    opts.lengths = {1, 16, 32};
+    opts.seeds_per_length = 4;
+
+    const IrbResult batched = run_irb_1q(exec(), gates1q(), 0, x_super, x_index, opts);
+    quantum::force_dense_superop(true);
+    const IrbResult dense = run_irb_1q(exec(), gates1q(), 0, x_super, x_index, opts);
+    quantum::clear_dense_superop_override();
+
+    for (std::size_t i = 0; i < batched.interleaved.points.size(); ++i) {
+        EXPECT_NEAR(batched.interleaved.points[i].mean_survival,
+                    dense.interleaved.points[i].mean_survival, 1e-12)
+            << "i=" << i;
+    }
+    EXPECT_NEAR(batched.gate_error, dense.gate_error, 1e-9);
+}
+
+}  // namespace
+}  // namespace qoc::rb
