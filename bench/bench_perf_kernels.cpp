@@ -19,6 +19,7 @@
 #include "quantum/operators.hpp"
 #include "quantum/superop.hpp"
 #include "rb/rb.hpp"
+#include "service/calibration_service.hpp"
 
 namespace {
 
@@ -434,6 +435,66 @@ void BM_ObsOverhead(benchmark::State& state) {
     if (!externally_enabled) obs::reset_for_testing();
 }
 BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
+
+// --- calibration service: cached steady state vs per-request design ---------
+//
+// The fleet scenario the service exists for: after the first day, almost
+// every request repeats a (device-bucket, gate, duration, ...) combination
+// already designed, so the steady state is hit-dominated.  The cached
+// benchmark measures that steady state (every request served from the
+// content-addressed store); the uncached baseline pays the full
+// design_1q_gate cost per request, which is what the pre-service per-call
+// flow did.  Both sides use the same tiny design spec, so the ratio is the
+// cache win, not a workload difference.
+
+service::PulseRequest calib_bench_request(std::size_t i) {
+    static constexpr const char* kGates[] = {"x", "sx", "h"};
+    static constexpr std::size_t kDurations[] = {48, 64};
+    service::PulseRequest r;
+    r.gate = kGates[i % 3];
+    r.duration_dt = kDurations[(i / 3) % 2];
+    r.qubit = 0;
+    r.n_timeslots = 6;
+    r.max_iterations = 3;
+    return r;
+}
+
+void BM_CalibServiceHitSteadyState(benchmark::State& state) {
+    static service::CalibrationService* svc = [] {
+        service::ServiceOptions o;
+        o.amp_bound = 0.5;
+        auto* s = new service::CalibrationService(o);
+        s->register_device(0, device::ibmq_montreal());
+        for (std::size_t i = 0; i < 6; ++i) (void)s->request(0, calib_bench_request(i));
+        return s;
+    }();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(svc->request(0, calib_bench_request(i++)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalibServiceHitSteadyState);
+
+void BM_CalibServiceUncachedDesign(benchmark::State& state) {
+    static device::PulseExecutor exec(device::ibmq_montreal());
+    const auto model = device::nominal_model(exec.config());
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const service::PulseRequest r = calib_bench_request(i++);
+        experiments::GateDesignSpec sp;
+        sp.target = experiments::ideal_1q_gate(r.gate);
+        sp.duration_dt = r.duration_dt;
+        sp.n_timeslots = r.n_timeslots;
+        sp.model = experiments::DesignModel::kTwoLevelClosed;
+        sp.max_iterations = r.max_iterations;
+        sp.amp_bound = 0.5;
+        benchmark::DoNotOptimize(
+            experiments::design_1q_gate(model, r.qubit, r.gate, sp));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalibServiceUncachedDesign)->Unit(benchmark::kMillisecond);
 
 void BM_Clifford2qSampling(benchmark::State& state) {
     static const rb::Clifford1Q c1;

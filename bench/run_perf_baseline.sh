@@ -65,6 +65,13 @@ if ! "$build_dir/bench/bench_perf_kernels" --benchmark_list_tests \
     echo "recording a baseline." >&2
     exit 1
 fi
+if ! "$build_dir/bench/bench_perf_kernels" --benchmark_list_tests \
+        | grep -q '^BM_CalibService'; then
+    echo "error: bench_perf_kernels does not register BM_CalibService --" >&2
+    echo "the binary predates the calibration-service cache benchmarks;" >&2
+    echo "rebuild from the current tree before recording a baseline." >&2
+    exit 1
+fi
 
 # Pin the qoc::runtime task-pool width so recorded numbers are reproducible
 # across machines: default 1 (the serial inline path, bitwise the reference

@@ -1,0 +1,75 @@
+/// \file fleet_calibration_service.cpp
+/// \brief Resident calibration service over a drifting device fleet: N
+///        simulated backends drift over D days while a deterministic request
+///        stream hits the content-addressed pulse cache.  Day 0 designs
+///        everything; later days are hit-dominated, with drift past
+///        tolerance demoting entries to suspect and cheap IRB deciding
+///        between revalidation and a full re-design.
+///
+/// Environment knobs (all optional):
+///   QOC_FLEET_DEVICES   number of simulated devices        (default 2)
+///   QOC_FLEET_DAYS      days of drift to simulate          (default 3)
+///   QOC_FLEET_REQUESTS  requests per day across the fleet  (default 24)
+///   QOC_FLEET_STORE     pulse-store JSONL path for a warm restart
+///                       ("" = in-memory only)
+///
+/// The run is bitwise deterministic: re-running with the same knobs (at any
+/// QOC_THREADS width) reproduces the same response digest, and a saved
+/// store file is byte-stable across save/load/save.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/fleet_driver.hpp"
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    const long parsed = std::atol(v);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+int main() {
+    using namespace qoc;
+
+    service::FleetOptions opts;
+    opts.n_devices = env_size("QOC_FLEET_DEVICES", 2);
+    opts.n_days = static_cast<int>(env_size("QOC_FLEET_DAYS", 3));
+    opts.requests_per_day = env_size("QOC_FLEET_REQUESTS", 24);
+    opts.service.amp_bound = 0.5;
+    if (const char* store = std::getenv("QOC_FLEET_STORE"); store != nullptr) {
+        opts.store_path = store;
+    }
+
+    std::printf("fleet: %zu device(s), %d day(s), %zu request(s)/day\n",
+                opts.n_devices, opts.n_days, opts.requests_per_day);
+
+    const service::FleetResult result = service::run_fleet(opts);
+
+    const auto& s = result.stats;
+    std::printf("\nrequests served: %zu   response digest: %016llx\n",
+                result.responses.size(),
+                static_cast<unsigned long long>(result.response_digest));
+    std::printf("  cache hits         %llu\n", static_cast<unsigned long long>(s.hits));
+    std::printf("  cache misses       %llu\n", static_cast<unsigned long long>(s.misses));
+    std::printf("  demoted (drift)    %llu\n", static_cast<unsigned long long>(s.demoted));
+    std::printf("  revalidated (IRB)  %llu\n",
+                static_cast<unsigned long long>(s.revalidations));
+    std::printf("  re-designed        %llu\n", static_cast<unsigned long long>(s.redesigns));
+    std::printf("  shed               %llu\n", static_cast<unsigned long long>(s.shed));
+    std::printf("  store entries      %zu\n", result.store_size);
+    if (!opts.store_path.empty()) {
+        std::printf("  store saved to     %s\n", opts.store_path.c_str());
+    }
+    const double total = static_cast<double>(s.hits + s.misses + s.revalidations);
+    if (total > 0.0) {
+        std::printf("steady-state hit rate: %.1f%%\n",
+                    100.0 * static_cast<double>(s.hits) / total);
+    }
+    return 0;
+}

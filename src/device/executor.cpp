@@ -14,6 +14,7 @@
 #include "quantum/operators.hpp"
 #include "quantum/states.hpp"
 #include "quantum/superop.hpp"
+#include "util/fnv1a.hpp"
 
 namespace qoc::device {
 
@@ -42,14 +43,7 @@ std::uint64_t sample_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
 }  // namespace
 
 std::size_t PulseExecutor::PropKeyHash::operator()(const PropKey& k) const {
-    std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the key words
-    for (const std::uint64_t w : k.w) {
-        for (int b = 0; b < 8; ++b) {
-            h ^= (w >> (8 * b)) & 0xffu;
-            h *= 1099511628211ull;
-        }
-    }
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(util::fnv1a_words(k.w.data(), k.w.size()));
 }
 
 double Counts::probability(const std::string& bitstring) const {

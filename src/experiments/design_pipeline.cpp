@@ -25,11 +25,40 @@ struct DesignPipeline::CxCtx {
     rb::RbCurve reference;
 };
 
+/// Shared lazily-built context bundle (see the header).  Slots are created
+/// under the mutex; the expensive fill runs under the per-slot once_flag, so
+/// pipelines sharing a bundle also share the fill work.
+class PipelineContexts {
+public:
+    DesignPipeline::QubitCtx& qubit_slot(std::size_t qubit) {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto& slot = qubits_[qubit];
+        if (!slot) slot = std::make_unique<DesignPipeline::QubitCtx>();
+        return *slot;
+    }
+
+    DesignPipeline::CxCtx& cx_slot() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!cx_) cx_ = std::make_unique<DesignPipeline::CxCtx>();
+        return *cx_;
+    }
+
+private:
+    std::mutex mu_;
+    std::map<std::size_t, std::unique_ptr<DesignPipeline::QubitCtx>> qubits_;
+    std::unique_ptr<DesignPipeline::CxCtx> cx_;
+};
+
+std::shared_ptr<PipelineContexts> DesignPipeline::make_contexts() {
+    return std::make_shared<PipelineContexts>();
+}
+
 DesignPipeline::DesignPipeline(const device::BackendConfig& device,
                                DesignPipelineOptions options)
     : options_(std::move(options)),
       design_model_(device::nominal_model(device)),
-      owned_exec_(std::make_unique<device::PulseExecutor>(device)) {
+      owned_exec_(std::make_unique<device::PulseExecutor>(device)),
+      ctxs_(make_contexts()) {
     exec_ = owned_exec_.get();
     if (options_.characterize) {
         owned_defaults_ = device::build_default_gates(*exec_);
@@ -40,21 +69,22 @@ DesignPipeline::DesignPipeline(const device::BackendConfig& device,
 DesignPipeline::DesignPipeline(const device::PulseExecutor& exec,
                                const pulse::InstructionScheduleMap& defaults,
                                DesignPipelineOptions options)
+    : DesignPipeline(exec, defaults, nullptr, std::move(options)) {}
+
+DesignPipeline::DesignPipeline(const device::PulseExecutor& exec,
+                               const pulse::InstructionScheduleMap& defaults,
+                               std::shared_ptr<PipelineContexts> contexts,
+                               DesignPipelineOptions options)
     : options_(std::move(options)),
       design_model_(device::nominal_model(exec.config())),
       exec_(&exec),
-      defaults_(&defaults) {}
+      defaults_(&defaults),
+      ctxs_(contexts ? std::move(contexts) : make_contexts()) {}
 
 DesignPipeline::~DesignPipeline() = default;
 
 DesignPipeline::QubitCtx& DesignPipeline::qubit_ctx(std::size_t qubit) const {
-    QubitCtx* ctx = nullptr;
-    {
-        std::lock_guard<std::mutex> lk(ctx_mu_);
-        auto& slot = qubit_ctxs_[qubit];
-        if (!slot) slot = std::make_unique<QubitCtx>();
-        ctx = slot.get();
-    }
+    QubitCtx* ctx = &ctxs_->qubit_slot(qubit);
     std::call_once(ctx->once, [&] {
         obs::Span span("pipeline.reference");
         ctx->gates.emplace(*exec_, *defaults_, qubit, group1q_);
@@ -64,12 +94,7 @@ DesignPipeline::QubitCtx& DesignPipeline::qubit_ctx(std::size_t qubit) const {
 }
 
 DesignPipeline::CxCtx& DesignPipeline::cx_ctx() const {
-    CxCtx* ctx = nullptr;
-    {
-        std::lock_guard<std::mutex> lk(ctx_mu_);
-        if (!cx_ctx_) cx_ctx_ = std::make_unique<CxCtx>();
-        ctx = cx_ctx_.get();
-    }
+    CxCtx* ctx = &ctxs_->cx_slot();
     std::call_once(ctx->once, [&] {
         obs::Span span("pipeline.reference");
         ctx->group.emplace(group1q_);

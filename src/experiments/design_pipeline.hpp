@@ -116,6 +116,17 @@ struct PipelineResult {
     std::vector<GateResultCx> cx_gates;
 };
 
+/// Opaque bundle of the lazily-built shared per-qubit / 2Q contexts (gate
+/// sets + reference RB curves).  A pipeline normally owns a private one; the
+/// calibration service instead keeps one bundle per device snapshot and hands
+/// it to every pipeline it builds for that snapshot, so repeated
+/// pipeline-backed requests on the same snapshot never re-measure the
+/// reference curves.  Sharing contract: a bundle may only be shared between
+/// pipelines bound to the same (executor, defaults, RbOptions) triple -- the
+/// contexts are deterministic functions of exactly that triple, which is why
+/// sharing is byte-identical to rebuilding.
+class PipelineContexts;
+
 /// See the file comment.  A pipeline is bound to one device (executor +
 /// default schedules); the design model is the nominal (drift-free) version
 /// of that device's config, exactly what the per-call examples used.
@@ -131,6 +142,21 @@ public:
     DesignPipeline(const device::PulseExecutor& exec,
                    const pulse::InstructionScheduleMap& defaults,
                    DesignPipelineOptions options = {});
+
+    /// Non-owning, with externally shared contexts (see `PipelineContexts`).
+    /// `contexts` must have been created by `make_contexts()` and may be
+    /// shared across any number of pipelines bound to the same executor,
+    /// defaults and RB options; null falls back to a private bundle.
+    DesignPipeline(const device::PulseExecutor& exec,
+                   const pulse::InstructionScheduleMap& defaults,
+                   std::shared_ptr<PipelineContexts> contexts,
+                   DesignPipelineOptions options = {});
+
+    /// A fresh (empty) context bundle for the shared-context constructor.
+    static std::shared_ptr<PipelineContexts> make_contexts();
+
+    /// The bundle this pipeline fills/reads (always non-null).
+    const std::shared_ptr<PipelineContexts>& contexts() const { return ctxs_; }
 
     ~DesignPipeline();
     DesignPipeline(const DesignPipeline&) = delete;
@@ -162,6 +188,8 @@ public:
     const DesignPipelineOptions& options() const { return options_; }
 
 private:
+    friend class PipelineContexts;
+
     struct QubitCtx;  ///< per-qubit shared gate set + reference RB curve
     struct CxCtx;     ///< shared 2Q group, gate set + reference RB curve
 
@@ -176,9 +204,7 @@ private:
     const pulse::InstructionScheduleMap* defaults_ = nullptr;
     rb::Clifford1Q group1q_;
 
-    mutable std::mutex ctx_mu_;
-    mutable std::map<std::size_t, std::unique_ptr<QubitCtx>> qubit_ctxs_;
-    mutable std::unique_ptr<CxCtx> cx_ctx_;
+    std::shared_ptr<PipelineContexts> ctxs_;
 };
 
 }  // namespace qoc::experiments

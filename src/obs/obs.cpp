@@ -86,6 +86,11 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "linalg.expm.pade9",
     "linalg.expm.pade13",
     "linalg.expm.spectral",
+    "service.cache.hit",
+    "service.cache.miss",
+    "service.cache.revalidate",
+    "service.queue.depth",
+    "service.queue.shed",
 };
 
 /// Writes the final metrics object (counters + Pade-order histogram +

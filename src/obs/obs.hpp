@@ -77,6 +77,11 @@ enum class Cnt : unsigned {
     kExpmPade9,
     kExpmPade13,
     kExpmSpectral,      ///< Daleckii-Krein spectral-path calls
+    kSvcCacheHit,       ///< pulse-store lookups served from a fresh entry
+    kSvcCacheMiss,      ///< pulse-store misses (fan out to a design task)
+    kSvcCacheRevalidate,  ///< suspect entries re-validated by IRB (not redesigned)
+    kSvcQueueDepth,     ///< design requests admitted to the service queue
+    kSvcQueueShed,      ///< design requests shed by admission control
     kCount
 };
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "quantum/gates.hpp"
+#include "util/fnv1a.hpp"
 
 namespace qoc::rb {
 
@@ -38,20 +39,13 @@ Mat phase_normalize(const Mat& u) {
 
 std::uint64_t phase_key(const Mat& u) {
     const Mat n = phase_normalize(u);
-    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
-    auto mix = [&h](std::int64_t v) {
-        auto x = static_cast<std::uint64_t>(v);
-        for (int b = 0; b < 8; ++b) {
-            h ^= (x >> (8 * b)) & 0xffu;
-            h *= 1099511628211ull;
-        }
-    };
+    util::Fnv1a h;
     for (const auto& v : n.data()) {
         // Round to the 1e-6 grid; casting to integer absorbs -0.
-        mix(static_cast<std::int64_t>(std::round(v.real() * 1e6)));
-        mix(static_cast<std::int64_t>(std::round(v.imag() * 1e6)));
+        h.i64(static_cast<std::int64_t>(std::round(v.real() * 1e6)));
+        h.i64(static_cast<std::int64_t>(std::round(v.imag() * 1e6)));
     }
-    return h;
+    return h.digest();
 }
 
 std::string phase_hash(const Mat& u) {

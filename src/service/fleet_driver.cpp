@@ -1,0 +1,142 @@
+#include "service/fleet_driver.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/task_pool.hpp"
+#include "util/fnv1a.hpp"
+
+namespace qoc::service {
+
+namespace {
+
+/// splitmix64: the fully specified generator the workload stream uses, so a
+/// workload is a pure function of (workload_seed, day, position).
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+PulseRequest request_from_record(const io::RequestLogRecord& r) {
+    PulseRequest req;
+    req.gate = r.gate;
+    req.qubit = r.qubit;
+    req.duration_dt = r.duration_dt;
+    req.n_timeslots = r.n_timeslots;
+    req.max_iterations = static_cast<int>(r.max_iterations);
+    req.design_seed = r.design_seed;
+    req.priority = static_cast<unsigned>(r.priority);
+    return req;
+}
+
+FleetResult drive(const FleetOptions& options, std::vector<io::RequestLogRecord> log) {
+    if (options.n_devices == 0) throw std::invalid_argument("run_fleet: n_devices == 0");
+    CalibrationService svc(options.service);
+    std::vector<device::DriftModel> models;
+    models.reserve(options.n_devices);
+    for (std::size_t d = 0; d < options.n_devices; ++d) {
+        models.emplace_back(options.base, options.drift_seed + d, options.drift);
+    }
+
+    FleetResult res;
+    res.log = std::move(log);
+    res.responses.resize(res.log.size());
+
+    int last_day = -1;
+    for (const auto& r : res.log) last_day = std::max(last_day, static_cast<int>(r.day));
+
+    std::size_t pos = 0;
+    for (int day = 0; day <= last_day; ++day) {
+        // Daily drift notification: every device moves to its day-`day`
+        // snapshot before any of the day's traffic is served.
+        for (std::size_t d = 0; d < options.n_devices; ++d) {
+            if (day == 0) {
+                svc.register_device(d, models[d].device_on_day(0));
+            } else {
+                svc.update_device(d, models[d].device_on_day(day));
+            }
+        }
+        const std::size_t begin = pos;
+        while (pos < res.log.size() && res.log[pos].day == day) ++pos;
+        if (options.concurrent) {
+            runtime::TaskGroup group;
+            for (std::size_t i = begin; i < pos; ++i) {
+                group.run([&svc, &res, i] {
+                    res.responses[i] = svc.request(res.log[i].device_id,
+                                                   request_from_record(res.log[i]));
+                });
+            }
+            group.wait();
+        } else {
+            for (std::size_t i = begin; i < pos; ++i) {
+                res.responses[i] =
+                    svc.request(res.log[i].device_id, request_from_record(res.log[i]));
+            }
+        }
+    }
+    if (pos != res.log.size()) {
+        throw std::invalid_argument("run_fleet: request log not sorted by day");
+    }
+
+    util::Fnv1a h;
+    for (const auto& r : res.responses) h.u64(response_payload_digest(r));
+    res.response_digest = h.digest();
+    res.stats = svc.stats();
+    res.store_size = svc.store().size();
+
+    if (!options.store_path.empty()) svc.store().save_jsonl(options.store_path);
+    if (!options.request_log_path.empty()) {
+        std::ofstream os(options.request_log_path);
+        if (!os) {
+            throw std::runtime_error("run_fleet: cannot open " + options.request_log_path);
+        }
+        io::write_request_log_jsonl(os, res.log);
+    }
+    return res;
+}
+
+}  // namespace
+
+std::vector<io::RequestLogRecord> fleet_workload(const FleetOptions& options) {
+    // A deliberately small distinct-request space (gates x qubits x two
+    // durations): realistic fleet traffic repeats the same few calibration
+    // targets, which is what makes the steady state hit-dominated.
+    static const char* const k1qGates[] = {"x", "sx", "h"};
+    std::vector<io::RequestLogRecord> log;
+    log.reserve(static_cast<std::size_t>(options.n_days) * options.requests_per_day);
+    std::uint64_t index = 0;
+    for (int day = 0; day < options.n_days; ++day) {
+        std::uint64_t stream =
+            options.workload_seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(day) + 1;
+        for (std::size_t i = 0; i < options.requests_per_day; ++i) {
+            const std::uint64_t r = splitmix64(stream);
+            io::RequestLogRecord rec;
+            rec.index = index++;
+            rec.day = day;
+            rec.device_id = r % options.n_devices;
+            const std::uint64_t gate_pick = (r >> 8) % (options.include_cx ? 4 : 3);
+            rec.gate = gate_pick < 3 ? k1qGates[gate_pick] : "cx";
+            rec.qubit = rec.gate == "cx" ? 0 : ((r >> 16) % 2);
+            rec.duration_dt = rec.gate == "cx" ? 192 : (((r >> 24) % 2) != 0 ? 64 : 48);
+            rec.n_timeslots = 8;
+            rec.max_iterations = 10;
+            rec.design_seed = 1;
+            rec.priority = ((r >> 32) % 4) == 0 ? 1 : 0;  // ~25% batch lane
+            log.push_back(std::move(rec));
+        }
+    }
+    return log;
+}
+
+FleetResult run_fleet(const FleetOptions& options) { return drive(options, fleet_workload(options)); }
+
+FleetResult replay_fleet(const FleetOptions& options,
+                         const std::vector<io::RequestLogRecord>& log) {
+    return drive(options, log);
+}
+
+}  // namespace qoc::service

@@ -1,0 +1,68 @@
+/// \file fleet_driver.hpp
+/// \brief Fleet workload driver for the calibration service: N simulated
+///        devices drifting over D days, a deterministic request stream, and
+///        bitwise-reproducible replay.
+///
+/// `run_fleet` generates the workload from `workload_seed` (a splitmix64
+/// stream -- fully specified, no std:: distribution indeterminacy), drives
+/// the service day by day (each day starts with a drift notification per
+/// device), and digests every response payload in issue order.
+/// `replay_fleet` re-drives a saved request log through a FRESH service.
+///
+/// Determinism contract: with shedding disabled (`queue_bound` at least the
+/// day's concurrent demand), every response payload is a pure function of
+/// its request key and the day's deterministic device snapshots, so
+/// `response_digest` is bitwise identical across pool widths, across
+/// concurrent vs sequential issue, and between a run and its replay.
+/// Statuses (hit vs coalesced miss) and `ServiceStats` are interleaving-
+/// dependent and intentionally excluded from the digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/backend_config.hpp"
+#include "device/drift_model.hpp"
+#include "io/io.hpp"
+#include "service/calibration_service.hpp"
+
+namespace qoc::service {
+
+struct FleetOptions {
+    std::size_t n_devices = 2;
+    int n_days = 3;
+    std::size_t requests_per_day = 24;  ///< across the whole fleet
+    bool include_cx = false;            ///< add cx requests to the gate mix
+    bool concurrent = true;             ///< issue each day's requests in parallel
+    std::uint64_t drift_seed = 17;      ///< device i drifts with seed drift_seed + i
+    std::uint64_t workload_seed = 23;
+    device::BackendConfig base = device::ibmq_montreal();
+    device::DriftOptions drift;
+    ServiceOptions service;
+    std::string store_path;        ///< save the pulse store here after the run ("" = skip)
+    std::string request_log_path;  ///< save the request log here ("" = skip)
+};
+
+struct FleetResult {
+    std::vector<io::RequestLogRecord> log;  ///< every request, in issue order
+    std::vector<PulseResponse> responses;   ///< log-index aligned
+    std::uint64_t response_digest = 0;      ///< FNV-1a over payload digests
+    ServiceStats stats;
+    std::size_t store_size = 0;
+};
+
+/// Generates the deterministic workload for `options` (what `run_fleet`
+/// would issue), without running anything.
+std::vector<io::RequestLogRecord> fleet_workload(const FleetOptions& options);
+
+/// Runs the fleet scenario end to end.  See the file comment.
+FleetResult run_fleet(const FleetOptions& options);
+
+/// Re-drives `log` through a fresh service configured per `options`
+/// (workload-generation fields are ignored; drift/device/service fields must
+/// match the original run for payload-identical responses).
+FleetResult replay_fleet(const FleetOptions& options,
+                         const std::vector<io::RequestLogRecord>& log);
+
+}  // namespace qoc::service

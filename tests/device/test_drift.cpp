@@ -101,5 +101,85 @@ TEST(Drift, CorrelatedAcrossDays) {
     EXPECT_LT(dvar, 1.6 * var);
 }
 
+TEST(Drift, SeedDayReproducibleAcrossInstancesAndCallOrder) {
+    // (seed, day) fully determines the snapshot: independent instances and
+    // arbitrary call interleavings must agree bitwise (the calibration
+    // service's replay contract leans on this).
+    const DriftModel a(ibmq_montreal(), 424242);
+    const DriftModel b(ibmq_montreal(), 424242);
+    const auto d7_first = a.device_on_day(7);
+    (void)a.device_on_day(3);  // interleave another day
+    const auto d7_again = a.device_on_day(7);
+    const auto d7_other = b.device_on_day(7);
+    for (std::size_t q = 0; q < d7_first.qubits.size(); ++q) {
+        const auto& x = d7_first.qubit(q);
+        for (const auto* y : {&d7_again.qubit(q), &d7_other.qubit(q)}) {
+            EXPECT_EQ(x.detuning, y->detuning);
+            EXPECT_EQ(x.amp_scale, y->amp_scale);
+            EXPECT_EQ(x.t1, y->t1);
+            EXPECT_EQ(x.t2, y->t2);
+            EXPECT_EQ(x.readout_p10, y->readout_p10);
+            EXPECT_EQ(x.readout_p01, y->readout_p01);
+        }
+    }
+    // Different seeds give different trajectories.
+    const DriftModel c(ibmq_montreal(), 424243);
+    EXPECT_NE(d7_first.qubit(0).detuning, c.device_on_day(7).qubit(0).detuning);
+}
+
+TEST(Drift, JumpDayFlagConsistentWithKickMagnitude) {
+    // is_jump_day mirrors the qubit-0 draw sequence of device_on_day: the
+    // AR(1) innovation detuning(d) - a * detuning(d-1) is drawn with a
+    // jump_scale-times larger sigma on flagged days.  Over many days the
+    // flagged-day innovations must be much larger on average.
+    const DriftOptions opts;  // defaults: jump_scale = 6
+    const DriftModel m(ibmq_montreal(), 1234, opts);
+    double prev = 0.0;
+    double jump_sum = 0.0, normal_sum = 0.0;
+    int jump_n = 0, normal_n = 0;
+    for (int day = 0; day < 200; ++day) {
+        const double det = m.device_on_day(day).qubit(0).detuning;
+        const double innovation = std::abs(det - opts.mean_reversion * prev);
+        EXPECT_EQ(m.is_jump_day(day), m.is_jump_day(day));  // stable flag
+        if (m.is_jump_day(day)) {
+            jump_sum += innovation;
+            ++jump_n;
+        } else {
+            normal_sum += innovation;
+            ++normal_n;
+        }
+        prev = det;
+    }
+    ASSERT_GT(jump_n, 0);
+    ASSERT_GT(normal_n, 0);
+    EXPECT_GT(jump_sum / jump_n, 2.0 * (normal_sum / normal_n));
+}
+
+TEST(Drift, MeanReversionKeepsParametersBoundedOverTenThousandDays) {
+    // The walk is mean-reverting and clamped; even 10k days out every
+    // parameter must stay inside its physical excursion band.  (Sampled on a
+    // coarse grid plus endpoints: device_on_day(d) replays from day 0, so
+    // probing all 10k days would be quadratic.)
+    const auto base = ibmq_montreal();
+    const DriftModel m(base, 77);
+    std::vector<int> days = {0, 1, 2, 9998, 9999};
+    for (int d = 100; d < 10'000; d += 250) days.push_back(d);
+    for (const int day : days) {
+        const auto dev = m.device_on_day(day);
+        for (std::size_t q = 0; q < dev.qubits.size(); ++q) {
+            const auto& p = dev.qubit(q);
+            const auto& n = base.qubit(q);
+            EXPECT_LE(std::abs(p.detuning), 6e-3) << "day " << day;
+            EXPECT_GE(p.amp_scale, std::exp(-0.06) - 1e-12) << "day " << day;
+            EXPECT_LE(p.amp_scale, std::exp(0.06) + 1e-12) << "day " << day;
+            EXPECT_GE(p.t1, n.t1 * std::exp(-0.4) - 1e-9) << "day " << day;
+            EXPECT_LE(p.t1, n.t1 * std::exp(0.4) + 1e-9) << "day " << day;
+            EXPECT_LE(p.t2, 2.0 * p.t1 + 1e-9) << "day " << day;
+            EXPECT_GE(p.readout_p10, 1e-4) << "day " << day;
+            EXPECT_LE(p.readout_p10, 0.3) << "day " << day;
+        }
+    }
+}
+
 }  // namespace
 }  // namespace qoc::device

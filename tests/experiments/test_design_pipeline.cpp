@@ -208,6 +208,35 @@ TEST(DesignPipelineDeterminism, SharedReferenceIsByteIdenticalToFreshReference) 
                                 rb::run_rb_1q(exec(), gates, 0, po.rb));
 }
 
+TEST(DesignPipelineDeterminism, ExternallySharedContextsAreByteIdenticalToPrivate) {
+    // The calibration service hands one make_contexts() bundle to every
+    // pipeline it builds for a device snapshot; sharing must be bitwise
+    // invisible relative to private per-pipeline bundles.
+    DesignPipelineOptions po;
+    po.rb = tiny_rb();
+    pulse::Schedule idle("idle_x");
+    idle.insert(0, pulse::Delay{16, pulse::drive_channel(0)});
+
+    auto shared = DesignPipeline::make_contexts();
+    const DesignPipeline first(exec(), defaults(), shared, po);
+    const DesignPipeline second(exec(), defaults(), shared, po);
+    EXPECT_EQ(first.contexts().get(), second.contexts().get());
+
+    const GateComparison warm = first.characterize_1q("x", 0, idle);
+    // `second` reads the bundle `first` filled -- no re-measurement -- and
+    // must still be byte-identical to a fully private pipeline.
+    const GateComparison reused = second.characterize_1q("x", 0, idle);
+    const DesignPipeline isolated(exec(), defaults(), po);
+    const GateComparison fresh = isolated.characterize_1q("x", 0, idle);
+    expect_comparisons_bitwise_equal(warm, reused);
+    expect_comparisons_bitwise_equal(warm, fresh);
+
+    // Null contexts fall back to a private bundle.
+    const DesignPipeline fallback(exec(), defaults(), nullptr, po);
+    EXPECT_NE(fallback.contexts().get(), shared.get());
+    expect_comparisons_bitwise_equal(fallback.characterize_1q("x", 0, idle), warm);
+}
+
 TEST(DesignPipelineDeterminism, IrbCustomUsesTheSharedReference) {
     DesignPipelineOptions po;
     po.rb = tiny_rb();

@@ -1,0 +1,122 @@
+/// ServiceDeterminism.* -- the calibration service's replay contract, run as
+/// the `service_determinism_smoke` ctest alias in the Release and TSan CI
+/// legs: a replayed request log produces bitwise-identical response payloads
+/// at pool size 1 and pool size N, and the persisted store round-trips
+/// byte-for-byte across a warm restart.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/task_pool.hpp"
+#include "service/fleet_driver.hpp"
+
+namespace qoc::service {
+namespace {
+
+/// Small-but-real fleet: 1 device, 2 days (one drift notification), a
+/// workload with repeats (hits + coalesced misses) and enough headroom in
+/// queue_bound that admission control never sheds -- the precondition of the
+/// payload-determinism contract.
+FleetOptions smoke_fleet() {
+    FleetOptions o;
+    o.n_devices = 1;
+    o.n_days = 2;
+    o.requests_per_day = 10;
+    o.include_cx = false;
+    o.concurrent = true;
+    o.service.amp_bound = 0.5;
+    o.service.queue_bound = 256;
+    o.service.rb.lengths = {1, 8, 16};
+    o.service.rb.seeds_per_length = 2;
+    o.service.rb.shots = 128;
+    return o;
+}
+
+TEST(ServiceDeterminism, FleetReplayBitwiseOneVsNThreads) {
+    const FleetOptions opts = smoke_fleet();
+
+    FleetResult sequential;
+    {
+        runtime::ScopedPoolSize one(1);
+        sequential = run_fleet(opts);
+    }
+    ASSERT_EQ(sequential.responses.size(),
+              opts.requests_per_day * static_cast<std::size_t>(opts.n_days));
+    EXPECT_EQ(sequential.stats.shed, 0u);
+    EXPECT_GT(sequential.stats.hits + sequential.stats.misses, 0u);
+    EXPECT_GT(sequential.store_size, 0u);
+
+    // Replay the captured log through a FRESH service on a wide pool: every
+    // payload byte must match the single-threaded run.
+    FleetResult wide;
+    {
+        runtime::ScopedPoolSize four(4);
+        wide = replay_fleet(opts, sequential.log);
+    }
+    EXPECT_EQ(wide.response_digest, sequential.response_digest);
+    ASSERT_EQ(wide.responses.size(), sequential.responses.size());
+    for (std::size_t i = 0; i < wide.responses.size(); ++i) {
+        EXPECT_EQ(response_payload_digest(wide.responses[i]),
+                  response_payload_digest(sequential.responses[i]))
+            << "response " << i;
+    }
+    EXPECT_EQ(wide.store_size, sequential.store_size);
+
+    // A second wide run (not a replay -- fresh workload generation from the
+    // same seeds) agrees too: generation itself is deterministic.
+    FleetResult wide2;
+    {
+        runtime::ScopedPoolSize four(4);
+        wide2 = run_fleet(opts);
+    }
+    EXPECT_EQ(wide2.response_digest, sequential.response_digest);
+}
+
+TEST(ServiceDeterminism, WarmRestartStoreIsByteStable) {
+    FleetOptions opts = smoke_fleet();
+    opts.n_days = 1;
+    opts.requests_per_day = 6;
+    opts.store_path = testing::TempDir() + "qoc_fleet_store_a.jsonl";
+
+    FleetResult run;
+    {
+        runtime::ScopedPoolSize one(1);
+        run = run_fleet(opts);
+    }
+    ASSERT_GT(run.store_size, 0u);
+
+    // Load the persisted store and save it again: byte-identical files.
+    PulseStore restored;
+    ASSERT_EQ(restored.load_jsonl(opts.store_path), run.store_size);
+    const std::string path_b = testing::TempDir() + "qoc_fleet_store_b.jsonl";
+    restored.save_jsonl(path_b);
+    std::ifstream fa(opts.store_path), fb(path_b);
+    std::stringstream sa, sb;
+    sa << fa.rdbuf();
+    sb << fb.rdbuf();
+    EXPECT_FALSE(sa.str().empty());
+    EXPECT_EQ(sa.str(), sb.str());
+    std::remove(opts.store_path.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(ServiceDeterminism, RequestLogRoundTripsThroughJsonl) {
+    FleetOptions opts = smoke_fleet();
+    opts.n_days = 1;
+    const auto log = fleet_workload(opts);
+    ASSERT_EQ(log.size(), opts.requests_per_day);
+
+    std::stringstream buf;
+    io::write_request_log_jsonl(buf, log);
+    const auto loaded = io::read_request_log_jsonl(buf);
+    ASSERT_EQ(loaded.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(loaded[i], log[i]) << "record " << i;
+    }
+}
+
+}  // namespace
+}  // namespace qoc::service

@@ -1,0 +1,75 @@
+#include "util/fnv1a.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace qoc::util {
+namespace {
+
+// Published FNV-1a 64-bit test vectors (Fowler/Noll/Vo reference set).
+TEST(Fnv1a, ReferenceVectors) {
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);  // offset basis
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, BuilderMatchesFreeFunction) {
+    Fnv1a h;
+    h.bytes("foo");
+    h.bytes("bar");
+    EXPECT_EQ(h.digest(), fnv1a("foobar"));
+}
+
+TEST(Fnv1a, U64IsLittleEndianByteFraming) {
+    // u64(w) must hash exactly the 8 bytes of w, LSB first, regardless of
+    // host endianness -- the framing the three consolidated call sites
+    // (clifford phase keys, executor prop keys, pulse-store keys) rely on.
+    Fnv1a h;
+    h.u64(0x0807060504030201ull);
+    Fnv1a ref;
+    for (std::uint8_t b = 1; b <= 8; ++b) ref.byte(b);
+    EXPECT_EQ(h.digest(), ref.digest());
+}
+
+TEST(Fnv1a, WordsHelperMatchesBuilder) {
+    const std::vector<std::uint64_t> words = {1, 0xdeadbeefull, ~0ull};
+    Fnv1a h;
+    for (const auto w : words) h.u64(w);
+    EXPECT_EQ(fnv1a_words(words.data(), words.size()), h.digest());
+}
+
+TEST(Fnv1a, I64AndF64AreBitPatternFramings) {
+    Fnv1a a;
+    a.i64(-1);
+    Fnv1a b;
+    b.u64(~0ull);
+    EXPECT_EQ(a.digest(), b.digest());
+
+    Fnv1a c;
+    c.f64_bits(1.5);
+    Fnv1a d;
+    d.u64(std::bit_cast<std::uint64_t>(1.5));
+    EXPECT_EQ(c.digest(), d.digest());
+}
+
+TEST(Fnv1a, OrderAndBoundariesMatter) {
+    EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+    Fnv1a one_word;
+    one_word.u64(1);
+    Fnv1a two_words;
+    two_words.u64(1);
+    two_words.u64(0);
+    EXPECT_NE(one_word.digest(), two_words.digest());
+}
+
+TEST(Fnv1a, ConstexprUsable) {
+    constexpr std::uint64_t k = fnv1a("compile-time");
+    static_assert(k != 0);
+    EXPECT_EQ(k, fnv1a("compile-time"));
+}
+
+}  // namespace
+}  // namespace qoc::util
