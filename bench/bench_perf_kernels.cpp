@@ -436,6 +436,29 @@ void BM_ObsOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
+// Same two-state shape for the lock-free latency histograms: Arg 0 bounds
+// the disabled path (one relaxed load + branch, ~1 ns), Arg 1 the enabled
+// log-bucketed record (owner-thread relaxed load+store on a bucket cell --
+// still mutex-free, unlike the named hist_observe it replaced on hot paths).
+// An LCG varies the value so bucket indexing isn't constant-folded.
+void BM_HistObserve(benchmark::State& state) {
+    const bool externally_enabled =
+        obs::g_obs_state.load(std::memory_order_relaxed) != 0;
+    if (!externally_enabled && state.range(0) == 1) obs::enable_metrics("");
+    constexpr int kOpsPerIter = 1000;
+    std::uint64_t value = 0x9e3779b97f4a7c15ull;
+    for (auto _ : state) {
+        for (int i = 0; i < kOpsPerIter; ++i) {
+            value = value * 6364136223846793005ull + 1442695040888963407ull;
+            obs::hist_record(obs::Hist::kPoolQueueWait, value >> 40);
+        }
+    }
+    benchmark::DoNotOptimize(value);
+    state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+    if (!externally_enabled) obs::reset_for_testing();
+}
+BENCHMARK(BM_HistObserve)->Arg(0)->Arg(1);
+
 // --- calibration service: cached steady state vs per-request design ---------
 //
 // The fleet scenario the service exists for: after the first day, almost

@@ -108,6 +108,7 @@ GateComparison DesignPipeline::characterize_1q(const std::string& gate_name,
                                                std::size_t qubit,
                                                const pulse::Schedule& custom_schedule) const {
     obs::Span span("pipeline.characterize");
+    obs::ScopedHistTimer wall(obs::Hist::kIrbWall);
     const QubitCtx& ctx = qubit_ctx(qubit);
     const std::size_t cliff_index = group1q_.find(ideal_1q_gate(gate_name));
     const Mat custom_super = exec_->schedule_superop_1q(custom_schedule, qubit);
@@ -129,6 +130,7 @@ GateComparison DesignPipeline::characterize_1q(const std::string& gate_name,
 rb::IrbResult DesignPipeline::irb_custom_1q(const std::string& gate_name, std::size_t qubit,
                                             const pulse::Schedule& custom_schedule) const {
     obs::Span span("pipeline.characterize");
+    obs::ScopedHistTimer wall(obs::Hist::kIrbWall);
     const QubitCtx& ctx = qubit_ctx(qubit);
     const std::size_t cliff_index = group1q_.find(ideal_1q_gate(gate_name));
     const Mat custom_super = exec_->schedule_superop_1q(custom_schedule, qubit);
@@ -138,6 +140,7 @@ rb::IrbResult DesignPipeline::irb_custom_1q(const std::string& gate_name, std::s
 
 GateComparison DesignPipeline::characterize_cx(const pulse::Schedule& custom_schedule) const {
     obs::Span span("pipeline.characterize");
+    obs::ScopedHistTimer wall(obs::Hist::kIrbWall);
     const CxCtx& ctx = cx_ctx();
     const std::size_t cliff_index = ctx.group->find(g::cx());
     const Mat custom_super = exec_->schedule_superop_2q(custom_schedule);
@@ -183,6 +186,7 @@ PipelineResult DesignPipeline::run(const std::vector<GateJob1Q>& jobs,
                 res.candidates.push_back(Candidate1Q{seed, dur, {}});
                 futs[i].push_back(pool.submit([this, &job, seed, dur] {
                     obs::Span design_span("pipeline.design");
+                    obs::ScopedHistTimer wall(obs::Hist::kDesignWall);
                     GateDesignSpec sp = job.spec;
                     sp.random_seed = seed;
                     sp.duration_dt = dur;
@@ -204,6 +208,7 @@ PipelineResult DesignPipeline::run(const std::vector<GateJob1Q>& jobs,
                 out.cx_gates[i].candidates.push_back(CandidateCx{seed, dur, {}});
                 cx_futs[i].push_back(pool.submit([this, &job, seed, dur] {
                     obs::Span design_span("pipeline.design");
+                    obs::ScopedHistTimer wall(obs::Hist::kDesignWall);
                     CxDesignSpec sp = job.spec;
                     sp.random_seed = seed;
                     sp.duration_dt = dur;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,13 +16,17 @@ namespace {
 
 constexpr std::size_t kRingCapacity = 16384;
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Cnt::kCount);
+constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);
 
-/// Per-thread storage: one padded counter row plus one preallocated span
-/// ring.  Owned by the registry, written only by the owning thread; counter
-/// cells are relaxed atomics so concurrent reads (counter_value, flush) are
+/// Per-thread storage: one padded counter row, the fixed latency-histogram
+/// bucket cells, plus one preallocated span ring.  Owned by the registry,
+/// written only by the owning thread; counter and bucket cells are relaxed
+/// atomics so concurrent reads (counter_value, hist_snapshot, flush) are
 /// race-free without ever taking a lock on the write side.
 struct alignas(64) ThreadSlot {
     std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+    std::array<std::array<std::atomic<std::uint64_t>, kHistBuckets>, kNumHists> hist_buckets{};
+    std::array<std::atomic<std::uint64_t>, kNumHists> hist_sums{};
     std::vector<TraceEvent> ring;
     std::atomic<std::uint64_t> ring_count{0};  ///< total spans ever recorded
     std::uint32_t tid = 0;
@@ -89,12 +94,28 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "service.cache.hit",
     "service.cache.miss",
     "service.cache.revalidate",
-    "service.queue.depth",
+    "service.requests.admitted",
     "service.queue.shed",
 };
 
+constexpr std::array<const char*, kNumHists> kHistNames = {
+    "service.request.latency.interactive.hit",
+    "service.request.latency.batch.hit",
+    "service.request.latency.interactive.revalidate",
+    "service.request.latency.batch.revalidate",
+    "service.request.latency.interactive.design",
+    "service.request.latency.batch.design",
+    "service.request.latency.interactive.shed",
+    "service.request.latency.batch.shed",
+    "design.wall",
+    "irb.wall",
+    "pool.task.queue_wait",
+    "lbfgsb.line_search_evals",
+};
+
 /// Writes the final metrics object (counters + Pade-order histogram +
-/// gauges + named histograms) as one JSONL line.  Caller holds io_mu.
+/// latency histograms + gauges + named histograms + span-ring accounting)
+/// as one JSONL line.  Caller holds io_mu.
 void write_metrics_line(std::FILE* f) {
     std::fprintf(f, "{\"type\":\"metrics\",\"counters\":{");
     for (std::size_t c = 0; c < kNumCounters; ++c) {
@@ -124,7 +145,38 @@ void write_metrics_line(std::FILE* f) {
             }
             std::fprintf(f, "}");
         }
-        std::fprintf(f, "},\"gauges\":{");
+    }
+    // Non-empty fixed latency histograms: sparse buckets (keyed by the
+    // bucket's lower bound) plus merged quantile estimates.
+    std::fprintf(f, "},\"latency_histograms\":{");
+    bool first_hist = true;
+    for (std::size_t h = 0; h < kNumHists; ++h) {
+        const HistSnapshot s = hist_snapshot(static_cast<Hist>(h));
+        if (s.count == 0) continue;
+        std::fprintf(f, "%s\"%s\":{\"count\":%llu,\"sum\":%llu", first_hist ? "" : ",",
+                     kHistNames[h], static_cast<unsigned long long>(s.count),
+                     static_cast<unsigned long long>(s.sum));
+        const std::pair<const char*, double> qs[] = {
+            {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+        for (const auto& [qname, q] : qs) {
+            std::fprintf(f, ",\"%s\":", qname);
+            print_double(f, hist_quantile(s, q));
+        }
+        std::fprintf(f, ",\"buckets\":{");
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < kHistBuckets; ++b) {
+            if (s.buckets[b] == 0) continue;
+            std::fprintf(f, "%s\"%llu\":%llu", first_bucket ? "" : ",",
+                         static_cast<unsigned long long>(hist_bucket_lower(b)),
+                         static_cast<unsigned long long>(s.buckets[b]));
+            first_bucket = false;
+        }
+        std::fprintf(f, "}}");
+        first_hist = false;
+    }
+    std::fprintf(f, "},\"gauges\":{");
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
         bool first = true;
         for (const auto& [name, value] : r.gauges) {
             std::fprintf(f, "%s\"%s\":", first ? "" : ",", name.c_str());
@@ -132,8 +184,16 @@ void write_metrics_line(std::FILE* f) {
             first = false;
         }
     }
-    std::fprintf(f, "},\"dropped_trace_events\":%llu}\n",
+    std::fprintf(f, "},\"dropped_trace_events\":%llu,\"trace_rings\":[",
                  static_cast<unsigned long long>(dropped_trace_events()));
+    const std::vector<RingStats> rings = ring_stats();
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+        std::fprintf(f, "%s{\"tid\":%u,\"recorded\":%llu,\"dropped\":%llu}",
+                     i == 0 ? "" : ",", rings[i].tid,
+                     static_cast<unsigned long long>(rings[i].recorded),
+                     static_cast<unsigned long long>(rings[i].dropped));
+    }
+    std::fprintf(f, "]}\n");
 }
 
 void write_trace_file(const std::string& path) {
@@ -143,17 +203,32 @@ void write_trace_file(const std::string& path) {
     std::fprintf(f, "{\"traceEvents\":[");
     for (std::size_t i = 0; i < events.size(); ++i) {
         const TraceEvent& e = events[i];
-        // chrome://tracing wants microseconds.  id/parent args let tools
-        // rebuild the logical span tree across task boundaries.
+        // chrome://tracing wants microseconds.  id/parent/req args let tools
+        // rebuild the logical span tree across task boundaries and join
+        // spans with their service_request records.
         std::fprintf(f,
                      "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                     "\"args\":{\"id\":%llu,\"parent\":%llu},\"pid\":1,\"tid\":%u}",
+                     "\"args\":{\"id\":%llu,\"parent\":%llu,\"req\":%llu},"
+                     "\"pid\":1,\"tid\":%u}",
                      i == 0 ? "" : ",", e.name, static_cast<double>(e.t0_ns) / 1e3,
                      static_cast<double>(e.dur_ns) / 1e3,
                      static_cast<unsigned long long>(e.id),
-                     static_cast<unsigned long long>(e.parent), e.tid);
+                     static_cast<unsigned long long>(e.parent),
+                     static_cast<unsigned long long>(e.request), e.tid);
     }
-    std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+    // Ring-overflow accounting as trace metadata: a truncated trace says so
+    // in-band instead of silently looking complete.
+    std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{"
+                    "\"dropped_trace_events\":%llu,\"trace_rings\":[",
+                 static_cast<unsigned long long>(dropped_trace_events()));
+    const std::vector<RingStats> rings = ring_stats();
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+        std::fprintf(f, "%s{\"tid\":%u,\"recorded\":%llu,\"dropped\":%llu}",
+                     i == 0 ? "" : ",", rings[i].tid,
+                     static_cast<unsigned long long>(rings[i].recorded),
+                     static_cast<unsigned long long>(rings[i].dropped));
+    }
+    std::fprintf(f, "]}}\n");
     std::fclose(f);
 }
 
@@ -184,6 +259,15 @@ void count_slow(Cnt c, std::uint64_t n) noexcept {
     cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
 }
 
+void hist_slow(Hist h, std::uint64_t value) noexcept {
+    ThreadSlot& s = slot();
+    const std::size_t hi = static_cast<std::size_t>(h);
+    std::atomic<std::uint64_t>& bucket = s.hist_buckets[hi][hist_bucket_index(value)];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    std::atomic<std::uint64_t>& sum = s.hist_sums[hi];
+    sum.store(sum.load(std::memory_order_relaxed) + value, std::memory_order_relaxed);
+}
+
 std::uint64_t now_ns() noexcept {
     return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                           std::chrono::steady_clock::now() - reg().epoch)
@@ -191,11 +275,12 @@ std::uint64_t now_ns() noexcept {
 }
 
 void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
-                 std::uint64_t id, std::uint64_t parent) noexcept {
+                 std::uint64_t id, std::uint64_t parent, std::uint64_t request) noexcept {
     if (!tracing_enabled()) return;  // disabled (or reset) between ctor and dtor
     ThreadSlot& s = slot();
     const std::uint64_t n = s.ring_count.load(std::memory_order_relaxed);
-    s.ring[n % kRingCapacity] = TraceEvent{name, t0_ns, t1_ns - t0_ns, s.tid, id, parent};
+    s.ring[n % kRingCapacity] =
+        TraceEvent{name, t0_ns, t1_ns - t0_ns, s.tid, id, parent, request};
     s.ring_count.store(n + 1, std::memory_order_relaxed);
 }
 
@@ -219,11 +304,78 @@ const char* counter_name(Cnt c) noexcept {
     return kCounterNames[static_cast<std::size_t>(c)];
 }
 
+const char* hist_name(Hist h) noexcept { return kHistNames[static_cast<std::size_t>(h)]; }
+
+std::size_t hist_bucket_index(std::uint64_t value) noexcept {
+    if (value < 4) return static_cast<std::size_t>(value);
+    const int e = 63 - std::countl_zero(value);  // floor(log2), >= 2 here
+    const std::uint64_t sub = (value >> (e - 2)) & 3u;
+    return static_cast<std::size_t>(4 * (e - 1)) + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t hist_bucket_lower(std::size_t bucket) noexcept {
+    if (bucket < 4) return bucket;
+    const std::size_t e = bucket / 4 + 1;
+    const std::uint64_t sub = bucket % 4;
+    return (std::uint64_t{1} << e) + (sub << (e - 2));
+}
+
+std::uint64_t hist_bucket_upper(std::size_t bucket) noexcept {
+    if (bucket + 1 >= kHistBuckets) return UINT64_MAX;
+    return hist_bucket_lower(bucket + 1);
+}
+
+HistSnapshot hist_snapshot(Hist h) {
+    const std::size_t hi = static_cast<std::size_t>(h);
+    HistSnapshot out;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& s : r.slots) {
+        out.sum += s->hist_sums[hi].load(std::memory_order_relaxed);
+        for (std::size_t b = 0; b < kHistBuckets; ++b) {
+            const std::uint64_t n = s->hist_buckets[hi][b].load(std::memory_order_relaxed);
+            out.buckets[b] += n;
+            out.count += n;
+        }
+    }
+    return out;
+}
+
+double hist_quantile(const HistSnapshot& s, double q) noexcept {
+    if (s.count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank-based estimate: the q-quantile of n samples sits at fractional
+    // rank q*(n-1); interpolate linearly inside the bucket holding it.
+    const double target = q * static_cast<double>(s.count - 1);
+    std::uint64_t below = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        const std::uint64_t n = s.buckets[b];
+        if (n == 0) continue;
+        if (static_cast<double>(below + n) > target) {
+            const double lo = static_cast<double>(hist_bucket_lower(b));
+            const double hi = static_cast<double>(hist_bucket_upper(b));
+            const double frac = (target - static_cast<double>(below) + 0.5) /
+                                static_cast<double>(n);
+            const double est = lo + frac * (hi - lo);
+            return est < lo ? lo : (est > hi ? hi : est);
+        }
+        below += n;
+    }
+    return static_cast<double>(hist_bucket_lower(kHistBuckets - 1));
+}
+
 void set_gauge(const char* name, double value) {
     if (!metrics_enabled()) return;
     Registry& r = reg();
     std::lock_guard<std::mutex> lock(r.mu);
     r.gauges[name] = value;
+}
+
+std::vector<std::pair<std::string, double>> gauges_snapshot() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return {r.gauges.begin(), r.gauges.end()};
 }
 
 void hist_observe(const char* name, std::int64_t value) {
@@ -269,6 +421,41 @@ void emit_rb_seed(const char* experiment, std::size_t length, std::int64_t seed,
     std::fprintf(f, ",\"thread\":%u}\n", tid);
 }
 
+void emit_service_request(std::uint64_t id, std::uint64_t seq, std::uint64_t key,
+                          std::uint64_t device, const char* gate, std::uint64_t qubit,
+                          std::uint64_t duration_dt, const char* lane, const char* outcome,
+                          bool redesign, std::uint64_t latency_ns) {
+    if (!telemetry_enabled()) return;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.io_mu);
+    std::FILE* f = r.metrics_file;
+    if (f == nullptr) return;
+    std::fprintf(f,
+                 "{\"type\":\"service_request\",\"id\":%llu,\"seq\":%llu,\"key\":%llu,"
+                 "\"device\":%llu,\"gate\":\"%s\",\"qubit\":%llu,\"duration_dt\":%llu,"
+                 "\"lane\":\"%s\",\"outcome\":\"%s\",\"redesign\":%d,\"latency_ns\":%llu}\n",
+                 static_cast<unsigned long long>(id), static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(key),
+                 static_cast<unsigned long long>(device), gate,
+                 static_cast<unsigned long long>(qubit),
+                 static_cast<unsigned long long>(duration_dt), lane, outcome,
+                 redesign ? 1 : 0, static_cast<unsigned long long>(latency_ns));
+}
+
+namespace detail {
+
+void write_jsonl_line(const std::string& line) {
+    if (!telemetry_enabled()) return;
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.io_mu);
+    std::FILE* f = r.metrics_file;
+    if (f == nullptr) return;
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+}
+
+}  // namespace detail
+
 void enable_tracing(const std::string& path) {
     Registry& r = reg();
     {
@@ -310,6 +497,16 @@ void flush() {
             std::fflush(r.metrics_file);
         }
     }
+    if (tracing_enabled() || metrics_enabled()) {
+        const std::uint64_t dropped = dropped_trace_events();
+        if (dropped > 0) {
+            std::fprintf(stderr,
+                         "qoc::obs: warning: %llu trace event(s) dropped by "
+                         "per-thread ring overflow; earliest spans are missing "
+                         "from the trace output\n",
+                         static_cast<unsigned long long>(dropped));
+        }
+    }
 }
 
 void reset_for_testing() {
@@ -328,11 +525,16 @@ void reset_for_testing() {
     r.hists.clear();
     for (auto& s : r.slots) {
         for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+        for (auto& row : s->hist_buckets) {
+            for (auto& b : row) b.store(0, std::memory_order_relaxed);
+        }
+        for (auto& sum : s->hist_sums) sum.store(0, std::memory_order_relaxed);
         s->ring_count.store(0, std::memory_order_relaxed);
     }
     r.epoch = std::chrono::steady_clock::now();
     g_span_ids.store(0, std::memory_order_relaxed);
     detail::t_current_span = 0;  // calling thread only; workers restore via RAII
+    detail::t_current_request = 0;
 }
 
 std::vector<TraceEvent> snapshot_trace_events() {
@@ -363,6 +565,22 @@ std::uint64_t dropped_trace_events() noexcept {
         if (n > kRingCapacity) dropped += n - kRingCapacity;
     }
     return dropped;
+}
+
+std::vector<RingStats> ring_stats() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<RingStats> out;
+    out.reserve(r.slots.size());
+    for (const auto& s : r.slots) {
+        const std::uint64_t n = s->ring_count.load(std::memory_order_relaxed);
+        RingStats rs;
+        rs.tid = s->tid;
+        rs.recorded = n;
+        rs.dropped = n > kRingCapacity ? n - kRingCapacity : 0;
+        out.push_back(rs);
+    }
+    return out;
 }
 
 }  // namespace qoc::obs

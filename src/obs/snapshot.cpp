@@ -1,0 +1,136 @@
+#include "obs/snapshot.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace qoc::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void append_double(std::string& out, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+}  // namespace
+
+Snapshotter::Snapshotter(std::uint64_t period_ms) : period_ms_(period_ms) {
+    prev_counters_.resize(static_cast<std::size_t>(Cnt::kCount), 0);
+}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::add_source(std::function<void()> source) {
+    sources_.push_back(std::move(source));
+}
+
+void Snapshotter::start() {
+    if (running_ || period_ms_ == 0) return;
+    stop_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { run(); });
+}
+
+void Snapshotter::stop() {
+    if (!running_) return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    running_ = false;
+    snapshot_now();  // capture the end state even if the run was short
+}
+
+void Snapshotter::run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                     [this] { return stop_; });
+        if (stop_) break;
+        lock.unlock();
+        snapshot_now();
+        lock.lock();
+    }
+}
+
+void Snapshotter::snapshot_now() {
+    if (!telemetry_enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+
+    for (const auto& source : sources_) source();
+
+    std::string line = "{\"type\":\"snapshot\",\"seq\":";
+    append_u64(line, seq_.load(std::memory_order_relaxed));
+    line += ",\"t_ns\":";
+    append_u64(line, now_ns());
+
+    line += ",\"counters\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(Cnt::kCount); ++i) {
+        const std::uint64_t total = counter_value(static_cast<Cnt>(i));
+        const std::uint64_t delta = total - prev_counters_[i];
+        prev_counters_[i] = total;
+        if (delta == 0) continue;
+        if (!first) line += ',';
+        first = false;
+        line += '"';
+        line += counter_name(static_cast<Cnt>(i));
+        line += "\":";
+        append_u64(line, delta);
+    }
+
+    line += "},\"latency\":{";
+    first = true;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(Hist::kCount); ++i) {
+        const HistSnapshot s = hist_snapshot(static_cast<Hist>(i));
+        if (s.count == 0) continue;
+        if (!first) line += ',';
+        first = false;
+        line += '"';
+        line += hist_name(static_cast<Hist>(i));
+        line += "\":{\"count\":";
+        append_u64(line, s.count);
+        line += ",\"p50\":";
+        append_double(line, hist_quantile(s, 0.50));
+        line += ",\"p90\":";
+        append_double(line, hist_quantile(s, 0.90));
+        line += ",\"p99\":";
+        append_double(line, hist_quantile(s, 0.99));
+        line += ",\"p999\":";
+        append_double(line, hist_quantile(s, 0.999));
+        line += '}';
+    }
+
+    line += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : gauges_snapshot()) {
+        if (!first) line += ',';
+        first = false;
+        line += '"';
+        line += name;
+        line += "\":";
+        append_double(line, value);
+    }
+    line += "}}";
+
+    detail::write_jsonl_line(line);
+    seq_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Snapshotter::snapshots_emitted() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+}
+
+}  // namespace qoc::obs

@@ -1,0 +1,80 @@
+/// \file snapshot.hpp
+/// \brief Periodic telemetry snapshots: a cold-path background thread that
+///        appends `{"type":"snapshot",...}` JSONL lines to the metrics
+///        stream every N ms, turning the cumulative counters and latency
+///        histograms into a time series.
+///
+/// Each line carries: the snapshot sequence number and timestamp (ns since
+/// the trace epoch), counter DELTAS since the previous snapshot (zero deltas
+/// are omitted), quantile summaries (count/p50/p90/p99/p999) of every
+/// non-empty latency histogram, and the current gauge values.  Gauge
+/// sampling is pluggable: registered source callbacks run right before each
+/// snapshot and publish instantaneous state (queue depth, in-flight designs,
+/// store occupancy) via `obs::set_gauge`, which is how the service turns
+/// its internal state into sampled gauges rather than abusing monotone
+/// counters.
+///
+/// Determinism contract: the Snapshotter only READS telemetry state and
+/// writes to the JSONL stream; it never feeds anything back into the
+/// numerics, so enabling it cannot perturb the bitwise reproducibility of a
+/// run.  Everything here is a cold path (mutexes, heap, clock reads are all
+/// fine); the hot-path contracts live in obs.hpp.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qoc::obs {
+
+class Snapshotter {
+public:
+    /// `period_ms` is the background-thread sampling period; `snapshot_now`
+    /// can also be driven manually (tests) without ever calling `start`.
+    explicit Snapshotter(std::uint64_t period_ms);
+    ~Snapshotter();  ///< stops the thread if running
+
+    Snapshotter(const Snapshotter&) = delete;
+    Snapshotter& operator=(const Snapshotter&) = delete;
+
+    /// Registers a gauge source, invoked before every snapshot.  Sources
+    /// must be registered before `start` (not thread-safe against the
+    /// sampling loop) and should only call `obs::set_gauge`.
+    void add_source(std::function<void()> source);
+
+    /// Launches the background sampling thread.  No-op when already
+    /// running or when the period is zero.
+    void start();
+
+    /// Stops and joins the background thread; emits one final snapshot so
+    /// short runs always capture their end state.  Idempotent.
+    void stop();
+
+    /// Takes one snapshot immediately (runs sources, appends one JSONL
+    /// line).  No-op unless telemetry is enabled.
+    void snapshot_now();
+
+    /// Number of snapshot lines emitted so far.
+    std::uint64_t snapshots_emitted() const noexcept;
+
+private:
+    void run();
+
+    std::uint64_t period_ms_;
+    std::vector<std::function<void()>> sources_;
+    std::vector<std::uint64_t> prev_counters_;  ///< last-snapshot totals
+    std::atomic<std::uint64_t> seq_{0};
+
+    std::mutex mu_;  ///< guards stop_ and serializes snapshot_now
+    std::condition_variable cv_;
+    bool stop_ = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+}  // namespace qoc::obs

@@ -558,9 +558,10 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
             return res;
         }
         last_step = ls.alpha;
-        if (obs::metrics_enabled()) {
-            obs::hist_observe("lbfgsb.line_search_evals", res.evaluations - evals_before);
-        }
+        // Lock-free fixed-enum histogram: this sits on the optimizer hot
+        // loop, where the mutex-guarded hist_observe used to live.
+        obs::hist_record(obs::Hist::kLbfgsbLineSearchEvals,
+                         static_cast<std::uint64_t>(res.evaluations - evals_before));
         bounds.clip(res.x);
 
         // Curvature update.

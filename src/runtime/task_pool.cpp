@@ -97,9 +97,13 @@ struct TaskPool::Impl {
     }
 
     static void run(detail::Task& task) {
-        // Reparent obs spans opened inside the task to the submitter's span,
-        // so traces show the logical task graph, not the worker timeline.
-        obs::TaskParentScope parent(task.parent_span);
+        // Reparent obs spans opened inside the task to the submitter's span
+        // (and inherit its request id), so traces show the logical task
+        // graph, not the worker timeline.
+        obs::TaskParentScope parent(task.parent_span, task.parent_request);
+        if (task.submit_t_ns != 0) {
+            obs::hist_record(obs::Hist::kPoolQueueWait, obs::now_ns() - task.submit_t_ns);
+        }
         task();
     }
 
@@ -148,6 +152,8 @@ TaskPool::~TaskPool() {
 
 void TaskPool::submit_raw(detail::Task&& task) {
     task.parent_span = obs::current_span();
+    task.parent_request = obs::current_request();
+    if (obs::metrics_enabled()) task.submit_t_ns = obs::now_ns();
     Impl::Queue* q = &impl_->external;
     if (t_worker.impl == impl_.get()) q = &impl_->worker_queues[t_worker.wid];
     {

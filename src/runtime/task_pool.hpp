@@ -44,7 +44,11 @@ class TaskPool;
 
 namespace detail {
 
-/// Move-only type-erased callable, plus the obs span id of the submitter.
+/// Move-only type-erased callable, plus the obs context of the submitter:
+/// span id and request id (so spans opened inside the task reparent to the
+/// submitting span and stay joined to the request that fanned the work out)
+/// and -- only while metrics are enabled -- the submit timestamp, recorded
+/// as pool.task.queue_wait at execution start.
 class Task {
 public:
     Task() = default;
@@ -56,6 +60,8 @@ public:
     void operator()() { impl_->call(); }
 
     std::uint64_t parent_span = 0;
+    std::uint64_t parent_request = 0;
+    std::uint64_t submit_t_ns = 0;  ///< 0 = metrics were off at submit
 
 private:
     struct Concept {

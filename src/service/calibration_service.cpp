@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +13,7 @@
 #include "experiments/design_pipeline.hpp"
 #include "experiments/irb_experiment.hpp"
 #include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
 #include "runtime/task_pool.hpp"
 #include "util/fnv1a.hpp"
 
@@ -55,6 +58,42 @@ bool params_drifted(const std::vector<std::uint64_t>& validated,
 
 bool supported_gate(const std::string& gate) {
     return gate == "x" || gate == "sx" || gate == "h" || gate == "cx";
+}
+
+std::uint64_t env_snapshot_ms() {
+    const char* v = std::getenv("QOC_SNAPSHOT_MS");
+    if (v == nullptr || *v == '\0') return 0;
+    const long parsed = std::atol(v);
+    return parsed > 0 ? static_cast<std::uint64_t>(parsed) : 0;
+}
+
+/// The latency histogram a finished request records into: one per
+/// lane x outcome cell.
+obs::Hist latency_hist(bool interactive, ResponseStatus status) {
+    switch (status) {
+        case ResponseStatus::kHit:
+            return interactive ? obs::Hist::kSvcLatHitInteractive
+                               : obs::Hist::kSvcLatHitBatch;
+        case ResponseStatus::kRevalidated:
+            return interactive ? obs::Hist::kSvcLatRevalidateInteractive
+                               : obs::Hist::kSvcLatRevalidateBatch;
+        case ResponseStatus::kDesigned:
+            return interactive ? obs::Hist::kSvcLatDesignInteractive
+                               : obs::Hist::kSvcLatDesignBatch;
+        case ResponseStatus::kShed:
+            break;
+    }
+    return interactive ? obs::Hist::kSvcLatShedInteractive : obs::Hist::kSvcLatShedBatch;
+}
+
+const char* outcome_name(ResponseStatus status) {
+    switch (status) {
+        case ResponseStatus::kHit: return "hit";
+        case ResponseStatus::kRevalidated: return "revalidate";
+        case ResponseStatus::kDesigned: return "design";
+        case ResponseStatus::kShed: break;
+    }
+    return "shed";
 }
 
 }  // namespace
@@ -112,9 +151,32 @@ struct CalibrationService::Inflight {
     std::exception_ptr error;
 };
 
-CalibrationService::CalibrationService(ServiceOptions options) : options_(std::move(options)) {}
+CalibrationService::CalibrationService(ServiceOptions options) : options_(std::move(options)) {
+    if (options_.snapshot_ms == 0) options_.snapshot_ms = env_snapshot_ms();
+    if (options_.snapshot_ms > 0) {
+        snapshotter_ = std::make_unique<obs::Snapshotter>(options_.snapshot_ms);
+        snapshotter_->add_source([this] {
+            obs::set_gauge("service.queue.depth", static_cast<double>(queue_depth()));
+            obs::set_gauge("service.inflight_designs",
+                           static_cast<double>(inflight_designs()));
+            const PulseStore::Occupancy occ = store_.occupancy();
+            obs::set_gauge("store.entries", static_cast<double>(occ.total));
+            obs::set_gauge("store.fresh", static_cast<double>(occ.fresh));
+            obs::set_gauge("store.suspect", static_cast<double>(occ.suspect));
+            for (std::size_t i = 0; i < PulseStore::kShards; ++i) {
+                char name[40];
+                std::snprintf(name, sizeof(name), "store.shard.%02zu", i);
+                obs::set_gauge(name, static_cast<double>(occ.shard_sizes[i]));
+            }
+        });
+        snapshotter_->start();
+    }
+}
 
-CalibrationService::~CalibrationService() = default;
+CalibrationService::~CalibrationService() {
+    // Join the snapshot thread while every member its sources read is alive.
+    if (snapshotter_) snapshotter_->stop();
+}
 
 std::shared_ptr<const CalibrationService::DeviceState> CalibrationService::build_device_state(
     const device::BackendConfig& cfg) const {
@@ -218,6 +280,7 @@ StoredPulse CalibrationService::design_pulse(const DeviceState& dev, const Pulse
     // move to a different basin.
     const std::uint64_t seed = req.design_seed + 0x9e3779b97f4a7c15ull * design_count;
     const bool redesign = design_count > 0;
+    obs::ScopedHistTimer timer(obs::Hist::kDesignWall);
     StoredPulse p;
     p.key = key;
     p.gate = req.gate;
@@ -317,14 +380,45 @@ void CalibrationService::wait_inflight(Inflight& inf) {
     }
 }
 
-PulseResponse CalibrationService::request(std::size_t device_id, const PulseRequest& req) {
+PulseResponse CalibrationService::request(std::size_t device_id, const PulseRequest& req,
+                                          std::uint64_t sequence) {
     if (!supported_gate(req.gate)) {
         throw std::invalid_argument("CalibrationService: unsupported gate '" + req.gate + "'");
     }
     const auto dev = device_state(device_id);
+    const std::uint64_t key = key_for(*dev, req);
+
+    // Content-derived request id: spans opened below (and design/IRB work
+    // fanned out to the pool) carry it, and the service_request record joins
+    // the trace on it.  Replaying a request log reproduces identical ids.
+    util::Fnv1a idh;
+    idh.u64(key);
+    idh.u64(sequence);
+    const std::uint64_t request_id = idh.digest();
+    obs::RequestScope rscope(request_id);
+    obs::Span span("service.request");
+
+    const bool timed = obs::metrics_enabled() || obs::telemetry_enabled();
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+    bool redesigned = false;
+    PulseResponse resp = serve(device_id, req, dev, key, redesigned);
+    if (timed) {
+        const std::uint64_t latency = obs::now_ns() - t0;
+        const bool interactive = req.priority == 0;
+        obs::hist_record(latency_hist(interactive, resp.status), latency);
+        obs::emit_service_request(request_id, sequence, key, device_id, req.gate.c_str(),
+                                  req.gate == "cx" ? 0 : req.qubit, req.duration_dt,
+                                  interactive ? "interactive" : "batch",
+                                  outcome_name(resp.status), redesigned, latency);
+    }
+    return resp;
+}
+
+PulseResponse CalibrationService::serve(std::size_t device_id, const PulseRequest& req,
+                                        const std::shared_ptr<const DeviceState>& dev,
+                                        std::uint64_t key, bool& redesigned) {
     const bool two_qubit = req.gate == "cx";
     const std::size_t qubit = two_qubit ? 0 : req.qubit;
-    const std::uint64_t key = key_for(*dev, req);
     {
         std::lock_guard<std::mutex> lk(dev_mu_);
         served_[device_id].insert(key);
@@ -386,7 +480,7 @@ PulseResponse CalibrationService::request(std::size_t device_id, const PulseRequ
             inf = std::make_shared<Inflight>();
             inflight_.emplace(key, inf);
             ++queued_or_running_;
-            obs::count(obs::Cnt::kSvcQueueDepth);
+            obs::count(obs::Cnt::kSvcAdmitted);
             lanes_[req.priority == 0 ? 0 : 1].push_back(
                 DesignJob{dev, req, key, design_count, inf});
             leader = true;
@@ -400,6 +494,7 @@ PulseResponse CalibrationService::request(std::size_t device_id, const PulseRequ
     std::lock_guard<std::mutex> lk(inf->mu);
     if (inf->error) std::rethrow_exception(inf->error);
     if (entry) {
+        redesigned = true;
         std::lock_guard<std::mutex> slk(stats_mu_);
         ++stats_.redesigns;
     }
@@ -409,6 +504,16 @@ PulseResponse CalibrationService::request(std::size_t device_id, const PulseRequ
 ServiceStats CalibrationService::stats() const {
     std::lock_guard<std::mutex> lk(stats_mu_);
     return stats_;
+}
+
+std::size_t CalibrationService::queue_depth() const {
+    std::lock_guard<std::mutex> lk(q_mu_);
+    return lanes_[0].size() + lanes_[1].size();
+}
+
+std::size_t CalibrationService::inflight_designs() const {
+    std::lock_guard<std::mutex> lk(q_mu_);
+    return inflight_.size();
 }
 
 }  // namespace qoc::service

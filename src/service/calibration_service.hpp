@@ -42,6 +42,7 @@
 /// requests overtake batch backfill whenever a backlog forms.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -61,6 +62,10 @@ namespace qoc::experiments {
 class DesignPipeline;
 class PipelineContexts;
 }  // namespace qoc::experiments
+
+namespace qoc::obs {
+class Snapshotter;
+}  // namespace qoc::obs
 
 namespace qoc::device {
 class PulseExecutor;
@@ -104,6 +109,12 @@ struct ServiceOptions {
     /// negative values are NOT a reliable "never pass": the IRB error
     /// estimate 1 - alpha_i/alpha_r is unbounded below at small statistics.)
     double revalidate_gate_error_bound = 0.02;
+    /// Telemetry snapshot period (ms) for the service-owned Snapshotter,
+    /// which samples queue depth, in-flight designs and store occupancy as
+    /// gauges.  0 defers to the QOC_SNAPSHOT_MS environment variable
+    /// (unset/0 = no snapshot thread).  Snapshots only emit while the
+    /// telemetry stream (QOC_METRICS) is enabled.
+    std::uint64_t snapshot_ms = 0;
 };
 
 /// One pulse request.  Everything here is part of the cache key (together
@@ -178,7 +189,24 @@ public:
     /// Serves a pulse for `req` (see the file comment for the state
     /// machine).  Throws `std::out_of_range` for an unregistered device and
     /// `std::invalid_argument` for an unsupported gate name.
-    PulseResponse request(std::size_t device_id, const PulseRequest& req);
+    ///
+    /// `sequence` is the request's issue sequence number: together with the
+    /// cache key it derives the telemetry request id (content-derived, never
+    /// wall clock), so a replayed request log reproduces identical ids.
+    /// Callers replaying a log should pass the log record's index; the
+    /// two-argument overload auto-assigns from a service-local counter.
+    PulseResponse request(std::size_t device_id, const PulseRequest& req,
+                          std::uint64_t sequence);
+    PulseResponse request(std::size_t device_id, const PulseRequest& req) {
+        return request(device_id, req, seq_.fetch_add(1, std::memory_order_relaxed));
+    }
+
+    /// Instantaneous design-queue depth (jobs queued, not yet popped by a
+    /// pool task) and in-flight design count (queued or running).  Sampled
+    /// by the Snapshotter as gauges -- these are NOT monotone counters; the
+    /// admitted-count counter is `obs::Cnt::kSvcAdmitted`.
+    std::size_t queue_depth() const;
+    std::size_t inflight_designs() const;
 
     /// The underlying content-addressed store (e.g. for persistence:
     /// `store().save_jsonl(path)` / `store().load_jsonl(path)`).
@@ -206,11 +234,15 @@ private:
     std::uint64_t key_for(const DeviceState& dev, const PulseRequest& req) const;
     StoredPulse design_pulse(const DeviceState& dev, const PulseRequest& req, std::uint64_t key,
                              std::uint64_t design_count) const;
+    PulseResponse serve(std::size_t device_id, const PulseRequest& req,
+                        const std::shared_ptr<const DeviceState>& dev, std::uint64_t key,
+                        bool& redesigned);
     void run_one_job();
     static void wait_inflight(Inflight& inf);
 
     ServiceOptions options_;
     PulseStore store_;
+    std::atomic<std::uint64_t> seq_{0};  ///< auto-assigned issue sequence
 
     mutable std::mutex dev_mu_;
     std::unordered_map<std::size_t, std::shared_ptr<const DeviceState>> devices_;
@@ -225,6 +257,10 @@ private:
 
     mutable std::mutex stats_mu_;
     ServiceStats stats_;
+
+    /// Declared last: destroyed (and its thread joined) while every member
+    /// its gauge sources sample is still alive.
+    std::unique_ptr<obs::Snapshotter> snapshotter_;
 };
 
 }  // namespace qoc::service

@@ -66,15 +66,19 @@ FleetResult drive(const FleetOptions& options, std::vector<io::RequestLogRecord>
             runtime::TaskGroup group;
             for (std::size_t i = begin; i < pos; ++i) {
                 group.run([&svc, &res, i] {
+                    // Pass the log index as the issue sequence so telemetry
+                    // request ids reproduce bitwise under replay.
                     res.responses[i] = svc.request(res.log[i].device_id,
-                                                   request_from_record(res.log[i]));
+                                                   request_from_record(res.log[i]),
+                                                   res.log[i].index);
                 });
             }
             group.wait();
         } else {
             for (std::size_t i = begin; i < pos; ++i) {
-                res.responses[i] =
-                    svc.request(res.log[i].device_id, request_from_record(res.log[i]));
+                res.responses[i] = svc.request(res.log[i].device_id,
+                                               request_from_record(res.log[i]),
+                                               res.log[i].index);
             }
         }
     }

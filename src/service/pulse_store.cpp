@@ -163,6 +163,24 @@ void PulseStore::clear() {
     }
 }
 
+PulseStore::Occupancy PulseStore::occupancy() const {
+    Occupancy occ;
+    for (std::size_t i = 0; i < kShards; ++i) {
+        const Shard& s = shards_[i];
+        std::lock_guard<std::mutex> lk(s.mu);
+        occ.shard_sizes[i] = s.map.size();
+        occ.total += s.map.size();
+        for (const auto& [key, entry] : s.map) {
+            if (entry.state == EntryState::kFresh) {
+                ++occ.fresh;
+            } else {
+                ++occ.suspect;
+            }
+        }
+    }
+    return occ;
+}
+
 namespace {
 
 io::PulseStoreRecord to_record(const StoredPulse& p) {

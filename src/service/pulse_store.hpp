@@ -130,6 +130,17 @@ public:
     std::size_t size() const;
     void clear();
 
+    /// Instantaneous occupancy, sampled shard by shard (each under its own
+    /// lock, so the totals are only approximately a point-in-time view).
+    /// Telemetry seam: the service's Snapshotter publishes these as gauges.
+    struct Occupancy {
+        std::array<std::size_t, kShards> shard_sizes{};
+        std::size_t total = 0;
+        std::size_t fresh = 0;
+        std::size_t suspect = 0;
+    };
+    Occupancy occupancy() const;
+
     /// JSONL persistence (bitwise round trip; see the file comment).
     /// `save_jsonl` writes entries sorted by key so the file is
     /// content-deterministic; `load_jsonl` merges records into the store

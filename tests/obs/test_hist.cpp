@@ -1,0 +1,171 @@
+/// Lock-free latency-histogram correctness: bucket-boundary oracle (every
+/// bucket's bounds round-trip through hist_bucket_index), value->bucket
+/// placement for arbitrary values, quantile estimates against a
+/// sorted-vector reference within bucket resolution, cross-thread merge
+/// totals, the disabled-path no-op, and the ScopedHistTimer RAII recorder.
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace qoc::obs {
+namespace {
+
+class ObsHistTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset_for_testing(); }
+    void TearDown() override { reset_for_testing(); }
+};
+
+/// Deterministic 64-bit LCG (Knuth MMIX) for value streams.
+std::uint64_t lcg(std::uint64_t& state) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state;
+}
+
+TEST_F(ObsHistTest, SmallValuesAreExactBuckets) {
+    for (std::uint64_t v = 0; v < 4; ++v) {
+        EXPECT_EQ(hist_bucket_index(v), v);
+        EXPECT_EQ(hist_bucket_lower(v), v);
+        EXPECT_EQ(hist_bucket_upper(v), v + 1);
+    }
+}
+
+TEST_F(ObsHistTest, BucketBoundaryOracleRoundTrips) {
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        const std::uint64_t lo = hist_bucket_lower(b);
+        const std::uint64_t hi = hist_bucket_upper(b);
+        ASSERT_LT(lo, hi) << "bucket " << b;
+        EXPECT_EQ(hist_bucket_index(lo), b) << "lower bound of bucket " << b;
+        EXPECT_EQ(hist_bucket_index(hi - 1), b) << "last value of bucket " << b;
+        if (b + 1 < kHistBuckets) {
+            EXPECT_EQ(hist_bucket_upper(b), hist_bucket_lower(b + 1))
+                << "buckets " << b << "/" << b + 1 << " must tile";
+        }
+    }
+    EXPECT_EQ(hist_bucket_index(UINT64_MAX), kHistBuckets - 1);
+}
+
+TEST_F(ObsHistTest, BucketResolutionIsWithinQuarter) {
+    // Log-linear layout contract: relative bucket width <= 1/4 for v >= 4
+    // (i.e. at most ~2^(1/4) geometric resolution).
+    for (std::size_t b = 4; b < kHistBuckets; ++b) {
+        const double lo = static_cast<double>(hist_bucket_lower(b));
+        const double hi = static_cast<double>(hist_bucket_upper(b));
+        if (b == kHistBuckets - 1) continue;  // saturated upper bound
+        EXPECT_LE((hi - lo) / lo, 0.25 + 1e-12) << "bucket " << b;
+    }
+}
+
+TEST_F(ObsHistTest, ArbitraryValuesLandInTheirBucket) {
+    std::uint64_t state = 12345;
+    for (int i = 0; i < 10000; ++i) {
+        // Mix magnitudes: shift by a pseudo-random amount so small and huge
+        // values are both exercised.
+        const std::uint64_t v = lcg(state) >> (lcg(state) % 64);
+        const std::size_t b = hist_bucket_index(v);
+        ASSERT_LT(b, kHistBuckets);
+        EXPECT_GE(v, hist_bucket_lower(b)) << "v=" << v;
+        EXPECT_LT(v, hist_bucket_upper(b) == UINT64_MAX ? UINT64_MAX
+                                                        : hist_bucket_upper(b))
+            << "v=" << v;
+    }
+}
+
+TEST_F(ObsHistTest, DisabledPathRecordsNothing) {
+    hist_record(Hist::kDesignWall, 1234);
+    ScopedHistTimer t(Hist::kIrbWall);
+    const HistSnapshot s = hist_snapshot(Hist::kDesignWall);
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    EXPECT_EQ(hist_quantile(s, 0.5), 0.0);
+}
+
+TEST_F(ObsHistTest, SnapshotCountsAndSums) {
+    enable_metrics("");
+    hist_record(Hist::kPoolQueueWait, 1);
+    hist_record(Hist::kPoolQueueWait, 100);
+    hist_record(Hist::kPoolQueueWait, 100000);
+    const HistSnapshot s = hist_snapshot(Hist::kPoolQueueWait);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.sum, 100101u);
+    // Other histograms are untouched.
+    EXPECT_EQ(hist_snapshot(Hist::kDesignWall).count, 0u);
+}
+
+TEST_F(ObsHistTest, CrossThreadMergeTotals) {
+    enable_metrics("");
+    constexpr int kTeamSize = 4;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> team;
+    team.reserve(kTeamSize);
+    for (int t = 0; t < kTeamSize; ++t) {
+        team.emplace_back([t] {
+            std::uint64_t state = 1000 + static_cast<std::uint64_t>(t);
+            for (int i = 0; i < kPerThread; ++i) {
+                hist_record(Hist::kDesignWall, lcg(state) % 1000000);
+            }
+        });
+    }
+    for (auto& th : team) th.join();
+    const HistSnapshot s = hist_snapshot(Hist::kDesignWall);
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(kTeamSize) * kPerThread);
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t n : s.buckets) bucket_total += n;
+    EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST_F(ObsHistTest, QuantilesMatchSortedReferenceWithinBucketResolution) {
+    enable_metrics("");
+    std::vector<std::uint64_t> values;
+    std::uint64_t state = 777;
+    for (int i = 0; i < 20000; ++i) {
+        // Latency-shaped stream: mostly small, a heavy tail.
+        const std::uint64_t v = (lcg(state) % 1000) + ((i % 97 == 0) ? 500000 : 0);
+        values.push_back(v);
+        hist_record(Hist::kIrbWall, v);
+    }
+    std::sort(values.begin(), values.end());
+    const HistSnapshot s = hist_snapshot(Hist::kIrbWall);
+    ASSERT_EQ(s.count, values.size());
+
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const double est = hist_quantile(s, q);
+        const double pos = q * static_cast<double>(values.size() - 1);
+        const std::uint64_t exact = values[static_cast<std::size_t>(pos)];
+        // The estimate must land inside (or on the boundary of) the bucket
+        // holding the exact-rank sample -- that is the advertised <=2^(1/4)
+        // resolution contract.
+        const std::size_t b = hist_bucket_index(exact);
+        EXPECT_GE(est, static_cast<double>(hist_bucket_lower(b)))
+            << "q=" << q << " exact=" << exact;
+        EXPECT_LE(est, static_cast<double>(hist_bucket_upper(b)))
+            << "q=" << q << " exact=" << exact;
+    }
+}
+
+TEST_F(ObsHistTest, ScopedHistTimerRecordsOneObservation) {
+    enable_metrics("");
+    { ScopedHistTimer t(Hist::kDesignWall); }
+    const HistSnapshot s = hist_snapshot(Hist::kDesignWall);
+    EXPECT_EQ(s.count, 1u);
+}
+
+TEST_F(ObsHistTest, HistNamesAreStable) {
+    EXPECT_STREQ(hist_name(Hist::kSvcLatHitInteractive),
+                 "service.request.latency.interactive.hit");
+    EXPECT_STREQ(hist_name(Hist::kSvcLatShedBatch),
+                 "service.request.latency.batch.shed");
+    EXPECT_STREQ(hist_name(Hist::kDesignWall), "design.wall");
+    EXPECT_STREQ(hist_name(Hist::kIrbWall), "irb.wall");
+    EXPECT_STREQ(hist_name(Hist::kPoolQueueWait), "pool.task.queue_wait");
+    EXPECT_STREQ(hist_name(Hist::kLbfgsbLineSearchEvals), "lbfgsb.line_search_evals");
+}
+
+}  // namespace
+}  // namespace qoc::obs

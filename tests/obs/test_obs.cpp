@@ -192,7 +192,10 @@ TEST_F(ObsTest, JsonlGoldenRoundTrip) {
         << metrics;
     EXPECT_NE(metrics.find("\"test.hist\":{\"3\":2,\"5\":1}"), std::string::npos);
     EXPECT_NE(metrics.find("\"test.gauge\":2.5"), std::string::npos);
-    EXPECT_NE(metrics.find("\"dropped_trace_events\":0}"), std::string::npos);
+    // No hist_record calls above: the latency-histogram object stays empty.
+    EXPECT_NE(metrics.find("\"latency_histograms\":{}"), std::string::npos) << metrics;
+    EXPECT_NE(metrics.find("\"dropped_trace_events\":0"), std::string::npos);
+    EXPECT_NE(metrics.find("\"trace_rings\":["), std::string::npos) << metrics;
     std::remove(path.c_str());
 }
 
@@ -214,7 +217,86 @@ TEST_F(ObsTest, TraceFileIsChromeTracingJson) {
     EXPECT_NE(body.find("\"name\":\"alpha\",\"ph\":\"X\",\"ts\":"), std::string::npos);
     EXPECT_NE(body.find("\"name\":\"beta\""), std::string::npos);
     EXPECT_NE(body.find("\"pid\":1,\"tid\":"), std::string::npos);
-    EXPECT_NE(body.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+    // Ring accounting rides along as metadata so truncated traces are
+    // diagnosable offline.
+    EXPECT_NE(body.find("],\"displayTimeUnit\":\"ms\",\"metadata\":{"
+                        "\"dropped_trace_events\":0,\"trace_rings\":["),
+              std::string::npos)
+        << body;
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, RequestScopeTagsSpansAndCrossesTaskBoundaries) {
+    enable_tracing("");
+    {
+        Span before("untagged");
+        tick();
+    }
+    {
+        RequestScope req(0xfeedbeefull);
+        Span tagged("tagged");
+        tick();
+        {
+            // A nested scope overrides, then restores on exit.
+            RequestScope inner_req(0x1234ull);
+            Span inner("inner");
+            tick();
+        }
+        // What the task runtime does on a worker: install the submitter's
+        // span AND request for the task's duration.
+        const std::uint64_t parent = current_span();
+        const std::uint64_t request = current_request();
+        std::thread worker([parent, request] {
+            TaskParentScope scope(parent, request);
+            Span task_span("task");
+            tick();
+        });
+        worker.join();
+        tick();
+    }
+    EXPECT_EQ(current_request(), 0u);
+
+    const auto events = snapshot_trace_events();
+    ASSERT_EQ(events.size(), 4u);
+    for (const TraceEvent& e : events) {
+        if (std::string(e.name) == "untagged") {
+            EXPECT_EQ(e.request, 0u);
+        } else if (std::string(e.name) == "inner") {
+            EXPECT_EQ(e.request, 0x1234u);
+        } else {
+            EXPECT_EQ(e.request, 0xfeedbeefu) << e.name;
+        }
+    }
+    // The worker's span reparented to the submitting span.
+    for (const TraceEvent& e : events) {
+        if (std::string(e.name) == "task") {
+            bool found_parent = false;
+            for (const TraceEvent& p : events) {
+                if (p.id == e.parent) {
+                    EXPECT_STREQ(p.name, "tagged");
+                    found_parent = true;
+                }
+            }
+            EXPECT_TRUE(found_parent);
+        }
+    }
+}
+
+TEST_F(ObsTest, ServiceRequestRecordGolden) {
+    const std::string path = ::testing::TempDir() + "qoc_obs_service_req.jsonl";
+    enable_metrics(path);
+    ASSERT_TRUE(telemetry_enabled());
+    emit_service_request(/*id=*/42, /*seq=*/7, /*key=*/99, /*device=*/1, "sx",
+                         /*qubit=*/2, /*duration_dt=*/64, "interactive", "hit",
+                         /*redesign=*/false, /*latency_ns=*/1500);
+    flush();
+    const auto lines = read_lines(path);
+    ASSERT_GE(lines.size(), 1u);
+    EXPECT_EQ(lines[0],
+              "{\"type\":\"service_request\",\"id\":42,\"seq\":7,\"key\":99,"
+              "\"device\":1,\"gate\":\"sx\",\"qubit\":2,\"duration_dt\":64,"
+              "\"lane\":\"interactive\",\"outcome\":\"hit\",\"redesign\":0,"
+              "\"latency_ns\":1500}");
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,113 @@
+/// Snapshotter behavior: counter-delta encoding across consecutive
+/// snapshots, gauge-source sampling, latency-quantile summaries, the
+/// telemetry-off no-op, and the background thread's start/stop lifecycle.
+
+#include "obs/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace qoc::obs {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset_for_testing(); }
+    void TearDown() override { reset_for_testing(); }
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+}
+
+TEST_F(SnapshotTest, NoOpWithoutTelemetry) {
+    Snapshotter snap(0);
+    snap.snapshot_now();
+    EXPECT_EQ(snap.snapshots_emitted(), 0u);
+
+    enable_metrics("");  // metrics in memory, but no JSONL stream
+    snap.snapshot_now();
+    EXPECT_EQ(snap.snapshots_emitted(), 0u);
+}
+
+TEST_F(SnapshotTest, CounterDeltasAndGaugesPerSnapshot) {
+    const std::string path = ::testing::TempDir() + "qoc_obs_snapshots.jsonl";
+    enable_metrics(path);
+    ASSERT_TRUE(telemetry_enabled());
+
+    Snapshotter snap(0);
+    double sampled = 1.5;
+    snap.add_source([&sampled] { set_gauge("test.sampled", sampled); });
+
+    count(Cnt::kGemmCalls, 5);
+    hist_record(Hist::kDesignWall, 1000);
+    snap.snapshot_now();
+
+    count(Cnt::kGemmCalls, 3);
+    sampled = 2.5;
+    snap.snapshot_now();
+
+    snap.snapshot_now();  // no activity in between: empty counter object
+    EXPECT_EQ(snap.snapshots_emitted(), 3u);
+    flush();
+
+    const auto lines = read_lines(path);
+    ASSERT_GE(lines.size(), 4u);  // 3 snapshots + final metrics line
+    // First snapshot: totals ARE the deltas.
+    EXPECT_NE(lines[0].find("\"type\":\"snapshot\",\"seq\":0"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"linalg.gemm.calls\":5"), std::string::npos) << lines[0];
+    EXPECT_NE(lines[0].find("\"design.wall\":{\"count\":1"), std::string::npos)
+        << lines[0];
+    EXPECT_NE(lines[0].find("\"test.sampled\":1.5"), std::string::npos) << lines[0];
+    // Second: only the increment since the first, and the re-sampled gauge.
+    EXPECT_NE(lines[1].find("\"seq\":1"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"linalg.gemm.calls\":3"), std::string::npos) << lines[1];
+    EXPECT_NE(lines[1].find("\"test.sampled\":2.5"), std::string::npos) << lines[1];
+    // Third: zero deltas are omitted entirely.
+    EXPECT_NE(lines[2].find("\"seq\":2"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"counters\":{}"), std::string::npos) << lines[2];
+    std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, BackgroundThreadEmitsAndStops) {
+    const std::string path = ::testing::TempDir() + "qoc_obs_snapshot_thread.jsonl";
+    enable_metrics(path);
+    ASSERT_TRUE(telemetry_enabled());
+
+    {
+        Snapshotter snap(2);  // 2 ms period
+        snap.start();
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        snap.stop();
+        // stop() emits one final snapshot, so even a short run captures its
+        // end state.
+        EXPECT_GE(snap.snapshots_emitted(), 1u);
+        snap.stop();  // idempotent
+        const std::uint64_t after_stop = snap.snapshots_emitted();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        EXPECT_EQ(snap.snapshots_emitted(), after_stop);  // thread is gone
+    }
+    flush();
+
+    std::size_t snapshot_lines = 0;
+    for (const auto& line : read_lines(path)) {
+        if (line.find("\"type\":\"snapshot\"") != std::string::npos) ++snapshot_lines;
+    }
+    EXPECT_GE(snapshot_lines, 1u);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qoc::obs

@@ -1,0 +1,37 @@
+# End-to-end telemetry smoke (driven by ctest, see tests/CMakeLists.txt):
+# run the fleet-calibration example with the full telemetry stack enabled,
+# then require qoc_obs_report --check to pass over the produced stream.
+#
+# Expects: -DFLEET=<fleet example binary> -DREPORT=<qoc_obs_report binary>
+#          -DWORK_DIR=<writable scratch directory>
+
+set(metrics "${WORK_DIR}/obs_smoke_metrics.jsonl")
+set(trace "${WORK_DIR}/obs_smoke_trace.json")
+file(REMOVE "${metrics}" "${trace}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          QOC_METRICS=${metrics}
+          QOC_TRACE=${trace}
+          QOC_SNAPSHOT_MS=20
+          QOC_FLEET_DEVICES=2
+          QOC_FLEET_DAYS=3
+          QOC_FLEET_REQUESTS=12
+          ${FLEET}
+  RESULT_VARIABLE fleet_rc)
+if(NOT fleet_rc EQUAL 0)
+  message(FATAL_ERROR "fleet example failed (rc=${fleet_rc})")
+endif()
+
+foreach(f IN ITEMS "${metrics}" "${trace}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "telemetry output missing: ${f}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${REPORT} ${metrics} --trace ${trace} --check
+  RESULT_VARIABLE report_rc)
+if(NOT report_rc EQUAL 0)
+  message(FATAL_ERROR "qoc_obs_report --check failed (rc=${report_rc})")
+endif()

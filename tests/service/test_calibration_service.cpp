@@ -117,7 +117,7 @@ TEST(CalibrationService, DriftPastToleranceRevalidatesWithoutRedesign) {
     // The obs mirror counters saw the same story.
     EXPECT_EQ(obs::counter_value(obs::Cnt::kSvcCacheMiss), 1u);
     EXPECT_EQ(obs::counter_value(obs::Cnt::kSvcCacheRevalidate), 1u);
-    EXPECT_EQ(obs::counter_value(obs::Cnt::kSvcQueueDepth), 1u);
+    EXPECT_EQ(obs::counter_value(obs::Cnt::kSvcAdmitted), 1u);
     EXPECT_EQ(obs::counter_value(obs::Cnt::kSvcQueueShed), 0u);
     obs::reset_for_testing();
 

@@ -178,6 +178,28 @@ TEST(PulseStore, JsonlRoundTripIsBitwise) {
     EXPECT_FALSE(s1.str().empty());
 }
 
+TEST(PulseStore, OccupancyCountsShardsAndStates) {
+    PulseStore store;
+    const auto empty = store.occupancy();
+    EXPECT_EQ(empty.total, 0u);
+    EXPECT_EQ(empty.fresh, 0u);
+    EXPECT_EQ(empty.suspect, 0u);
+
+    for (std::uint64_t k = 1; k <= 40; ++k) store.put(sample_pulse(k));
+    store.set_state(3, EntryState::kSuspect);
+    store.set_state(7, EntryState::kSuspect);
+
+    const auto occ = store.occupancy();
+    EXPECT_EQ(occ.total, 40u);
+    EXPECT_EQ(occ.fresh, 38u);
+    EXPECT_EQ(occ.suspect, 2u);
+    std::size_t shard_total = 0;
+    for (const std::size_t n : occ.shard_sizes) shard_total += n;
+    EXPECT_EQ(shard_total, occ.total);
+    // Keys 1..40 mod 16 shards: every shard holds at least two entries.
+    for (const std::size_t n : occ.shard_sizes) EXPECT_GE(n, 2u);
+}
+
 TEST(PulseStore, MissingFileLoadsNothing) {
     PulseStore store;
     EXPECT_EQ(store.load_jsonl(testing::TempDir() + "qoc_no_such_store.jsonl"), 0u);

@@ -1,15 +1,20 @@
 /// ServiceDeterminism.* -- the calibration service's replay contract, run as
 /// the `service_determinism_smoke` ctest alias in the Release and TSan CI
 /// legs: a replayed request log produces bitwise-identical response payloads
-/// at pool size 1 and pool size N, and the persisted store round-trips
-/// byte-for-byte across a warm restart.
+/// at pool size 1 and pool size N, telemetry on vs. off never perturbs the
+/// numerics, and the persisted store round-trips byte-for-byte across a warm
+/// restart.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "runtime/task_pool.hpp"
 #include "service/fleet_driver.hpp"
 
@@ -73,6 +78,99 @@ TEST(ServiceDeterminism, FleetReplayBitwiseOneVsNThreads) {
         wide2 = run_fleet(opts);
     }
     EXPECT_EQ(wide2.response_digest, sequential.response_digest);
+}
+
+TEST(ServiceDeterminism, ObsOnVsOffIsBitwiseIdentical) {
+    // Full telemetry (tracing + metrics + JSONL stream + latency histograms
+    // + request ids) must never perturb a fleet run: instrumentation only
+    // READS what the numerics computed.
+    const FleetOptions opts = smoke_fleet();
+
+    obs::reset_for_testing();
+    FleetResult plain;
+    {
+        runtime::ScopedPoolSize four(4);
+        plain = run_fleet(opts);
+    }
+
+    const std::string metrics_path = testing::TempDir() + "qoc_obs_onoff_metrics.jsonl";
+    obs::enable_tracing("");  // in-memory span collection
+    obs::enable_metrics(metrics_path);
+    ASSERT_TRUE(obs::telemetry_enabled());
+    FleetResult traced;
+    {
+        runtime::ScopedPoolSize four(4);
+        traced = run_fleet(opts);
+    }
+
+    EXPECT_EQ(traced.response_digest, plain.response_digest);
+    ASSERT_EQ(traced.responses.size(), plain.responses.size());
+    for (std::size_t i = 0; i < plain.responses.size(); ++i) {
+        EXPECT_EQ(response_payload_digest(traced.responses[i]),
+                  response_payload_digest(plain.responses[i]))
+            << "response " << i;
+    }
+
+    // Request-id joinability: every service_request record's id appears on
+    // at least one trace span (the service.request span itself at minimum).
+    std::set<std::uint64_t> span_requests;
+    for (const auto& e : obs::snapshot_trace_events()) {
+        if (e.request != 0) span_requests.insert(e.request);
+    }
+    obs::flush();
+    obs::reset_for_testing();
+
+    std::ifstream in(metrics_path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    std::size_t request_records = 0;
+    while (std::getline(in, line)) {
+        const std::string pat = "\"type\":\"service_request\"";
+        if (line.find(pat) == std::string::npos) continue;
+        ++request_records;
+        const std::string idpat = "\"id\":";
+        const std::size_t at = line.find(idpat);
+        ASSERT_NE(at, std::string::npos) << line;
+        const std::uint64_t id = std::strtoull(line.c_str() + at + idpat.size(), nullptr, 10);
+        EXPECT_EQ(span_requests.count(id), 1u) << "unjoinable request id " << id;
+    }
+    EXPECT_EQ(request_records, plain.responses.size());
+    std::remove(metrics_path.c_str());
+}
+
+TEST(ServiceDeterminism, ReplayReproducesRequestIds) {
+    // Request ids derive from (key, log index), never wall clock: replaying
+    // the same log must produce the identical id set.
+    const FleetOptions opts = smoke_fleet();
+    const auto ids_of = [&](const std::vector<io::RequestLogRecord>& log) {
+        const std::string path = testing::TempDir() + "qoc_obs_replay_ids.jsonl";
+        obs::reset_for_testing();
+        obs::enable_metrics(path);
+        replay_fleet(opts, log);
+        obs::flush();
+        obs::reset_for_testing();
+        std::multiset<std::uint64_t> ids;
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.find("\"type\":\"service_request\"") == std::string::npos) continue;
+            const std::size_t at = line.find("\"id\":");
+            ids.insert(std::strtoull(line.c_str() + at + 5, nullptr, 10));
+        }
+        std::remove(path.c_str());
+        return ids;
+    };
+
+    obs::reset_for_testing();
+    FleetResult base;
+    {
+        runtime::ScopedPoolSize one(1);
+        base = run_fleet(opts);
+    }
+    const auto first = ids_of(base.log);
+    ASSERT_EQ(first.size(), base.responses.size());
+    runtime::ScopedPoolSize four(4);  // replay at a different pool width
+    EXPECT_EQ(ids_of(base.log), first);
 }
 
 TEST(ServiceDeterminism, WarmRestartStoreIsByteStable) {

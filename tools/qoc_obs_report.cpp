@@ -1,0 +1,384 @@
+/// \file qoc_obs_report.cpp
+/// \brief Offline SLO report over a `qoc::obs` telemetry stream.
+///
+/// Reads the JSONL metrics file a service run produced (QOC_METRICS=<file>)
+/// and prints a human-readable serving report: request rate, hit/shed
+/// ratios, per-lane latency quantiles (exact, from the per-request records,
+/// not the bucketed histograms), revalidation pass rate, the most expensive
+/// design keys, and the snapshot time series.  Optionally:
+///
+///   --trace <file>   join the chrome-trace spans against the request ids
+///                    and report how many requests have correlated spans
+///   --prom           append a Prometheus-style text exposition
+///   --check          exit non-zero unless the stream looks healthy
+///                    (non-empty latency quantiles, hit ratio > 0) -- the
+///                    CI smoke gate
+///
+/// The parser is deliberately minimal: it understands exactly the flat
+/// one-object-per-line records `qoc::obs` emits (service_request, snapshot,
+/// rb_seed, optimizer_iteration, metrics) by scanning for `"key":` patterns;
+/// it is not a general JSON parser and does not need to be.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Finds `"key":` in `line` and returns the position just past the colon,
+/// or npos.  Matches the first occurrence: fine for the flat top-level keys
+/// this tool reads (emitters never repeat a top-level key later in a line).
+std::size_t value_pos(const std::string& line, const char* key) {
+    const std::string pat = std::string("\"") + key + "\":";
+    const std::size_t at = line.find(pat);
+    return at == std::string::npos ? std::string::npos : at + pat.size();
+}
+
+bool extract_u64(const std::string& line, const char* key, std::uint64_t& out) {
+    const std::size_t at = value_pos(line, key);
+    if (at == std::string::npos || at >= line.size()) return false;
+    char* end = nullptr;
+    out = std::strtoull(line.c_str() + at, &end, 10);
+    return end != line.c_str() + at;
+}
+
+bool extract_string(const std::string& line, const char* key, std::string& out) {
+    std::size_t at = value_pos(line, key);
+    if (at == std::string::npos || at >= line.size() || line[at] != '"') return false;
+    const std::size_t close = line.find('"', at + 1);
+    if (close == std::string::npos) return false;
+    out = line.substr(at + 1, close - at - 1);
+    return true;
+}
+
+std::string line_type(const std::string& line) {
+    std::string t;
+    extract_string(line, "type", t);
+    return t;
+}
+
+/// Exact quantile of a SORTED sample (nearest-rank with interpolation).
+double quantile(const std::vector<std::uint64_t>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return static_cast<double>(sorted[lo]) +
+           frac * (static_cast<double>(sorted[hi]) - static_cast<double>(sorted[lo]));
+}
+
+double ms(double ns) { return ns / 1e6; }
+
+struct RequestRecord {
+    std::uint64_t id = 0;
+    std::uint64_t key = 0;
+    std::uint64_t device = 0;
+    std::string gate;
+    std::string lane;
+    std::string outcome;
+    bool redesign = false;
+    std::uint64_t latency_ns = 0;
+};
+
+struct SnapshotPoint {
+    std::uint64_t seq = 0;
+    std::uint64_t t_ns = 0;
+    std::string line;  ///< kept for gauge extraction
+};
+
+struct Report {
+    std::vector<RequestRecord> requests;
+    std::vector<SnapshotPoint> snapshots;
+    std::string final_metrics;  ///< last {"type":"metrics"} line, if any
+};
+
+bool load_stream(const std::string& path, Report& rep) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "qoc_obs_report: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string type = line_type(line);
+        if (type == "service_request") {
+            RequestRecord r;
+            extract_u64(line, "id", r.id);
+            extract_u64(line, "key", r.key);
+            extract_u64(line, "device", r.device);
+            extract_string(line, "gate", r.gate);
+            extract_string(line, "lane", r.lane);
+            extract_string(line, "outcome", r.outcome);
+            std::uint64_t redesign = 0;
+            extract_u64(line, "redesign", redesign);
+            r.redesign = redesign != 0;
+            extract_u64(line, "latency_ns", r.latency_ns);
+            rep.requests.push_back(std::move(r));
+        } else if (type == "snapshot") {
+            SnapshotPoint p;
+            extract_u64(line, "seq", p.seq);
+            extract_u64(line, "t_ns", p.t_ns);
+            p.line = line;
+            rep.snapshots.push_back(std::move(p));
+        } else if (type == "metrics") {
+            rep.final_metrics = line;
+        }
+    }
+    return true;
+}
+
+/// Gauge value out of a snapshot line's `"gauges":{...}` object (gauge
+/// names never collide with top-level keys, so a whole-line scan is safe).
+bool snapshot_gauge(const SnapshotPoint& p, const char* name, double& out) {
+    const std::size_t at = value_pos(p.line, name);
+    if (at == std::string::npos) return false;
+    out = std::strtod(p.line.c_str() + at, nullptr);
+    return true;
+}
+
+/// Collects every `"req":<id>` (span -> request join key) in a trace file.
+std::set<std::uint64_t> trace_request_ids(const std::string& path) {
+    std::set<std::uint64_t> ids;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "qoc_obs_report: cannot open trace %s\n", path.c_str());
+        return ids;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::string pat = "\"req\":";
+    std::size_t at = 0;
+    while ((at = text.find(pat, at)) != std::string::npos) {
+        at += pat.size();
+        const std::uint64_t id = std::strtoull(text.c_str() + at, nullptr, 10);
+        if (id != 0) ids.insert(id);
+    }
+    return ids;
+}
+
+struct LaneStats {
+    std::map<std::string, std::uint64_t> by_outcome;
+    std::vector<std::uint64_t> latencies;  ///< all outcomes, ns
+};
+
+int run(const std::string& metrics_path, const std::string& trace_path, bool prom,
+        bool check) {
+    Report rep;
+    if (!load_stream(metrics_path, rep)) return 2;
+
+    std::map<std::string, LaneStats> lanes;
+    std::map<std::string, std::uint64_t> outcomes;
+    std::map<std::uint64_t, std::uint64_t> design_cost;  ///< key -> summed ns
+    std::map<std::uint64_t, std::string> key_gate;
+    std::uint64_t redesigns = 0;
+    for (const RequestRecord& r : rep.requests) {
+        LaneStats& lane = lanes[r.lane];
+        ++lane.by_outcome[r.outcome];
+        lane.latencies.push_back(r.latency_ns);
+        ++outcomes[r.outcome];
+        if (r.redesign) ++redesigns;
+        if (r.outcome == "design") {
+            design_cost[r.key] += r.latency_ns;
+            key_gate[r.key] = r.gate;
+        }
+    }
+
+    const std::uint64_t total = rep.requests.size();
+    const std::uint64_t hits = outcomes["hit"];
+    const std::uint64_t revalidates = outcomes["revalidate"];
+    const std::uint64_t designs = outcomes["design"];
+    const std::uint64_t shed = outcomes["shed"];
+
+    std::printf("qoc_obs_report: %s\n", metrics_path.c_str());
+    std::printf("\n== requests ==\n");
+    std::printf("  total        %llu\n", static_cast<unsigned long long>(total));
+    std::printf("  hit          %8llu", static_cast<unsigned long long>(hits));
+    if (total > 0) std::printf("   (%.1f%%)", 100.0 * static_cast<double>(hits) /
+                                                  static_cast<double>(total));
+    std::printf("\n  revalidate   %8llu\n", static_cast<unsigned long long>(revalidates));
+    std::printf("  design       %8llu\n", static_cast<unsigned long long>(designs));
+    std::printf("  shed         %8llu", static_cast<unsigned long long>(shed));
+    if (total > 0) std::printf("   (%.1f%%)", 100.0 * static_cast<double>(shed) /
+                                                  static_cast<double>(total));
+    std::printf("\n");
+    if (revalidates + redesigns > 0) {
+        std::printf("  revalidation pass rate  %.1f%%  (%llu passed, %llu redesigned)\n",
+                    100.0 * static_cast<double>(revalidates) /
+                        static_cast<double>(revalidates + redesigns),
+                    static_cast<unsigned long long>(revalidates),
+                    static_cast<unsigned long long>(redesigns));
+    }
+
+    std::printf("\n== latency (ms, exact per-request) ==\n");
+    std::printf("  %-14s %8s %10s %10s %10s %10s\n", "lane", "count", "p50", "p95", "p99",
+                "max");
+    for (auto& [name, lane] : lanes) {
+        std::sort(lane.latencies.begin(), lane.latencies.end());
+        std::printf("  %-14s %8zu %10.3f %10.3f %10.3f %10.3f\n", name.c_str(),
+                    lane.latencies.size(), ms(quantile(lane.latencies, 0.50)),
+                    ms(quantile(lane.latencies, 0.95)), ms(quantile(lane.latencies, 0.99)),
+                    lane.latencies.empty() ? 0.0
+                                           : ms(static_cast<double>(lane.latencies.back())));
+        for (const auto& [outcome, n] : lane.by_outcome) {
+            std::printf("    %-12s %8llu\n", outcome.c_str(),
+                        static_cast<unsigned long long>(n));
+        }
+    }
+
+    if (!design_cost.empty()) {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> top(design_cost.begin(),
+                                                                 design_cost.end());
+        std::sort(top.begin(), top.end(),
+                  [](const auto& a, const auto& b) { return a.second > b.second; });
+        std::printf("\n== top design-cost keys ==\n");
+        const std::size_t n_top = std::min<std::size_t>(top.size(), 5);
+        for (std::size_t i = 0; i < n_top; ++i) {
+            std::printf("  %016llx  %-4s %10.3f ms\n",
+                        static_cast<unsigned long long>(top[i].first),
+                        key_gate[top[i].first].c_str(),
+                        ms(static_cast<double>(top[i].second)));
+        }
+    }
+
+    if (!rep.snapshots.empty()) {
+        const std::uint64_t t0 = rep.snapshots.front().t_ns;
+        const std::uint64_t t1 = rep.snapshots.back().t_ns;
+        std::printf("\n== snapshots (%zu points over %.1f ms) ==\n", rep.snapshots.size(),
+                    ms(static_cast<double>(t1 - t0)));
+        std::printf("  %6s %10s %8s %10s %8s %8s\n", "seq", "t_ms", "queue", "inflight",
+                    "entries", "suspect");
+        // Subsample long series to ~20 rows (always keeping the last point).
+        const std::size_t stride = std::max<std::size_t>(1, rep.snapshots.size() / 20);
+        std::vector<SnapshotPoint> shown;
+        for (std::size_t i = 0; i < rep.snapshots.size(); i += stride) {
+            shown.push_back(rep.snapshots[i]);
+        }
+        if (shown.back().seq != rep.snapshots.back().seq) {
+            shown.push_back(rep.snapshots.back());
+        }
+        for (const SnapshotPoint& p : shown) {
+            double queue = 0, inflight = 0, entries = 0, suspect = 0;
+            snapshot_gauge(p, "service.queue.depth", queue);
+            snapshot_gauge(p, "service.inflight_designs", inflight);
+            snapshot_gauge(p, "store.entries", entries);
+            snapshot_gauge(p, "store.suspect", suspect);
+            std::printf("  %6llu %10.1f %8.0f %10.0f %8.0f %8.0f\n",
+                        static_cast<unsigned long long>(p.seq),
+                        ms(static_cast<double>(p.t_ns)), queue, inflight, entries, suspect);
+        }
+    }
+
+    std::uint64_t joinable = 0;
+    if (!trace_path.empty()) {
+        const std::set<std::uint64_t> span_ids = trace_request_ids(trace_path);
+        std::uint64_t with_spans = 0;
+        for (const RequestRecord& r : rep.requests) {
+            if (span_ids.count(r.id) != 0) ++with_spans;
+        }
+        joinable = with_spans;
+        std::printf("\n== trace join (%s) ==\n", trace_path.c_str());
+        std::printf("  distinct request ids on spans  %zu\n", span_ids.size());
+        std::printf("  requests with correlated spans %llu / %llu\n",
+                    static_cast<unsigned long long>(with_spans),
+                    static_cast<unsigned long long>(total));
+    }
+
+    if (!rep.final_metrics.empty()) {
+        std::uint64_t dropped = 0;
+        if (extract_u64(rep.final_metrics, "dropped_trace_events", dropped) && dropped > 0) {
+            std::printf("\nWARNING: %llu trace events dropped (ring overflow); the trace "
+                        "is truncated\n",
+                        static_cast<unsigned long long>(dropped));
+        }
+    }
+
+    if (prom) {
+        std::printf("\n# -- Prometheus exposition --\n");
+        std::printf("# TYPE qoc_requests_total counter\n");
+        for (const auto& [name, lane] : lanes) {
+            for (const auto& [outcome, n] : lane.by_outcome) {
+                std::printf("qoc_requests_total{lane=\"%s\",outcome=\"%s\"} %llu\n",
+                            name.c_str(), outcome.c_str(),
+                            static_cast<unsigned long long>(n));
+            }
+        }
+        std::printf("# TYPE qoc_request_latency_ns summary\n");
+        for (auto& [name, lane] : lanes) {
+            for (const double q : {0.50, 0.95, 0.99}) {
+                std::printf("qoc_request_latency_ns{lane=\"%s\",quantile=\"%.2f\"} %.0f\n",
+                            name.c_str(), q, quantile(lane.latencies, q));
+            }
+        }
+        std::printf("# TYPE qoc_snapshots_total counter\n");
+        std::printf("qoc_snapshots_total %zu\n", rep.snapshots.size());
+    }
+
+    if (check) {
+        bool healthy = true;
+        if (total == 0) {
+            std::fprintf(stderr, "check: FAIL no service_request records\n");
+            healthy = false;
+        }
+        if (hits == 0) {
+            std::fprintf(stderr, "check: FAIL hit ratio is zero\n");
+            healthy = false;
+        }
+        bool any_latency = false;
+        for (const auto& [name, lane] : lanes) {
+            if (!lane.latencies.empty() && lane.latencies.back() > 0) any_latency = true;
+        }
+        if (!any_latency) {
+            std::fprintf(stderr, "check: FAIL latency quantiles are empty\n");
+            healthy = false;
+        }
+        if (!trace_path.empty() && joinable == 0) {
+            std::fprintf(stderr, "check: FAIL no request joins a trace span\n");
+            healthy = false;
+        }
+        if (!healthy) return 1;
+        std::printf("\ncheck: OK\n");
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string metrics_path;
+    std::string trace_path;
+    bool prom = false;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--prom") {
+            prom = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (!arg.empty() && arg[0] != '-' && metrics_path.empty()) {
+            metrics_path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: qoc_obs_report <metrics.jsonl> [--trace <trace.json>] "
+                         "[--prom] [--check]\n");
+            return 2;
+        }
+    }
+    if (metrics_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: qoc_obs_report <metrics.jsonl> [--trace <trace.json>] "
+                     "[--prom] [--check]\n");
+        return 2;
+    }
+    return run(metrics_path, trace_path, prom, check);
+}
