@@ -24,7 +24,7 @@ shift $(( $# > 2 ? 2 : $# )) || true
 # never land in a baseline JSON -- and reconfiguring first would both rewrite
 # the cache evidence and pollute a sanitizer/contracts dir with Release flags.
 if [[ -f "$build_dir/CMakeCache.txt" ]]; then
-    for flag in QOC_SANITIZE QOC_SANITIZE_THREAD QOC_CONTRACTS; do
+    for flag in QOC_SANITIZE QOC_SANITIZE_THREAD QOC_SANITIZE_UNDEFINED QOC_CONTRACTS; do
         val="$(sed -n "s/^${flag}:[^=]*=//p" "$build_dir/CMakeCache.txt")"
         if [[ "${val^^}" == "ON" || "${val^^}" == "TRUE" || "$val" == "1" ]]; then
             echo "error: $build_dir was configured with ${flag}=${val}." >&2

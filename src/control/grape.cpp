@@ -86,6 +86,7 @@ GrapeResult grape_gradient_descent(const ControlProblem& cp, double learning_rat
     std::vector<double> grad;
     double lr = learning_rate;
     double prev_err = 0.0;
+    // qoc-lint-allow(determinism-wall-clock): wall-time telemetry only; never feeds the numerics
     const auto t_start = std::chrono::steady_clock::now();
     for (int it = 0; it < iterations; ++it) {
         const double err = cp.objective(x, grad);
@@ -105,6 +106,7 @@ GrapeResult grape_gradient_descent(const ControlProblem& cp, double learning_rat
             rec.step = lr;
             rec.n_fun_evals = it + 1;
             rec.wall_time_s = std::chrono::duration<double>(
+                                  // qoc-lint-allow(determinism-wall-clock): wall-time telemetry
                                   std::chrono::steady_clock::now() - t_start)
                                   .count();
             result.iteration_records.push_back(rec);

@@ -78,6 +78,7 @@ GrapeResult krotov_unitary(const ControlProblem& cp, const KrotovOptions& opts) 
     double err = result.initial_fid_err;
     result.fid_err_history.push_back(err);
 
+    // qoc-lint-allow(determinism-wall-clock): wall-time telemetry only; never feeds the numerics
     const auto t_start = std::chrono::steady_clock::now();
     for (int iter = 0; iter < opts.max_iterations; ++iter) {
         // Forward propagators with the current (old) controls.
@@ -135,6 +136,7 @@ GrapeResult krotov_unitary(const ControlProblem& cp, const KrotovOptions& opts) 
             rec.step = delta;
             rec.n_fun_evals = result.evaluations;
             rec.wall_time_s = std::chrono::duration<double>(
+                                  // qoc-lint-allow(determinism-wall-clock): wall-time telemetry
                                   std::chrono::steady_clock::now() - t_start)
                                   .count();
             result.iteration_records.push_back(rec);

@@ -44,6 +44,7 @@ struct Registry {
     std::mutex io_mu;  ///< guards the JSONL stream
     std::FILE* metrics_file = nullptr;
 
+    // qoc-lint-allow(determinism-wall-clock): trace epoch; spans/latency histograms only
     std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
 };
 
@@ -270,6 +271,7 @@ void hist_slow(Hist h, std::uint64_t value) noexcept {
 
 std::uint64_t now_ns() noexcept {
     return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          // qoc-lint-allow(determinism-wall-clock): telemetry
                                           std::chrono::steady_clock::now() - reg().epoch)
                                           .count());
 }
@@ -531,6 +533,7 @@ void reset_for_testing() {
         for (auto& sum : s->hist_sums) sum.store(0, std::memory_order_relaxed);
         s->ring_count.store(0, std::memory_order_relaxed);
     }
+    // qoc-lint-allow(determinism-wall-clock): trace-epoch reset; telemetry only
     r.epoch = std::chrono::steady_clock::now();
     g_span_ids.store(0, std::memory_order_relaxed);
     detail::t_current_span = 0;  // calling thread only; workers restore via RAII

@@ -462,6 +462,7 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
 
     LmModel model;
 
+    // qoc-lint-allow(determinism-wall-clock): wall-time telemetry only; never feeds the numerics
     const auto t_start = std::chrono::steady_clock::now();
     double last_step = 0.0;  // accepted line-search alpha of the previous iteration
 
@@ -475,6 +476,7 @@ OptimResult LbfgsB::minimize(const Objective& objective, std::vector<double> x0,
             rec.step = last_step;
             rec.n_fun_evals = res.evaluations;
             rec.wall_time_s = std::chrono::duration<double>(
+                                  // qoc-lint-allow(determinism-wall-clock): wall-time telemetry
                                   std::chrono::steady_clock::now() - t_start)
                                   .count();
             if (opts_.iter_callback) opts_.iter_callback(rec);

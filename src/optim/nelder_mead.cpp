@@ -22,6 +22,7 @@ OptimResult nelder_mead_minimize(const ScalarObjective& objective, std::vector<d
     const double delta = 1.0 - 1.0 / nd;  // shrink
 
     OptimResult res;
+    // qoc-lint-allow(determinism-wall-clock): wall-time telemetry only; never feeds the numerics
     const auto t_start = std::chrono::steady_clock::now();
     int evals = 0;
     auto feval = [&](std::vector<double>& x) {
@@ -61,6 +62,7 @@ OptimResult nelder_mead_minimize(const ScalarObjective& objective, std::vector<d
             rec.step = xspread;
             rec.n_fun_evals = evals;
             rec.wall_time_s = std::chrono::duration<double>(
+                                  // qoc-lint-allow(determinism-wall-clock): wall-time telemetry
                                   std::chrono::steady_clock::now() - t_start)
                                   .count();
             if (opts.iter_callback) opts.iter_callback(rec);

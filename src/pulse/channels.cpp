@@ -10,7 +10,11 @@ std::string Channel::label() const {
         case ChannelType::kAcquire: prefix = "A"; break;
         case ChannelType::kMeasure: prefix = "M"; break;
     }
-    return std::string(prefix) + std::to_string(index);
+    // Append in place: GCC 12's -Wrestrict misfires on the operator+ chain
+    // at -O3 (PR105651), and this tree builds with -Werror.
+    std::string out(prefix);
+    out += std::to_string(index);
+    return out;
 }
 
 Channel drive_channel(std::size_t qubit) { return {ChannelType::kDrive, qubit}; }

@@ -1,0 +1,21 @@
+// Fixture: operator-space kron (2x2 gate embeddings) and honest dense
+// matrices pass; only superoperator-shaped construction is the invariant.
+#include <cstddef>
+
+struct Mat {
+    Mat(std::size_t rows, std::size_t cols);
+    static Mat identity(std::size_t n);
+    void resize(std::size_t rows, std::size_t cols);
+};
+Mat kron(const Mat& a, const Mat& b);
+Mat operator*(const Mat& a, const Mat& b);
+
+Mat two_qubit_unitary(const Mat& ua, const Mat& ub) {
+    return kron(ua, ub);  // operator space: no conj/transpose, allowed
+}
+
+Mat embedded_drive(const Mat& drive, std::size_t d) {
+    Mat work(d, d * d);  // rectangular workspace, not a d^2 x d^2 superop
+    work.resize(d, d * d);
+    return kron(Mat::identity(2), drive) * work;
+}

@@ -1,0 +1,16 @@
+// Fixture: deterministic RNG streams and justified telemetry sites pass.
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+double deterministic_noise(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);  // seeded stream: deterministic, allowed
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(rng);
+}
+
+double wall_time_telemetry() {
+    // qoc-lint-allow(determinism-wall-clock): wall-time telemetry only; never feeds the numerics
+    auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,19 @@
+// Fixture: every banned clock/RNG source must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double sample_time() {
+    auto t0 = std::chrono::high_resolution_clock::now();  // flagged
+    auto t1 = std::chrono::system_clock::now();           // flagged
+    auto t2 = std::chrono::steady_clock::now();           // flagged
+    (void)t0;
+    (void)t1;
+    return std::chrono::duration<double>(t2.time_since_epoch()).count();
+}
+
+int noisy_seed() {
+    std::random_device rd;          // flagged
+    std::srand(42);                 // flagged
+    return std::rand() + int(rd()); // flagged
+}

@@ -1,0 +1,26 @@
+// Fixture: the shape-adapt idiom passes, and non-hot functions may allocate.
+#include <string>
+#include <vector>
+
+struct Buffer {
+    void resize(std::size_t n);
+    double* data();
+    std::size_t size() const;
+};
+
+// `_into` kernel in the repo idiom: resize-to-shape (the runtime alloc guard
+// pins it to zero allocations after warmup), then pure indexing.
+void scale_into(const Buffer& in, double k, Buffer& out) {
+    Buffer& o = out;
+    o.resize(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        o.data()[i] = k * const_cast<Buffer&>(in).data()[i];
+    }
+}
+
+// Not `_into`, not a hot-path file: growth and strings are fine here.
+std::string describe(const std::vector<double>& xs) {
+    std::vector<std::string> parts;
+    parts.push_back(std::to_string(xs.size()));
+    return parts.empty() ? std::string() : parts.front();
+}

@@ -1,0 +1,16 @@
+// Fixture: allocation in an `_into` kernel must be flagged.
+#include <string>
+#include <vector>
+
+void accumulate_into(const std::vector<double>& xs, std::vector<double>& out) {
+    out.reserve(xs.size());  // flagged: capacity growth in a hot kernel
+    double total = 0.0;
+    for (const double x : xs) {
+        total += x;
+        out.push_back(total);  // flagged: element-wise growth
+    }
+    double* scratch = new double[xs.size()];  // flagged: operator new
+    delete[] scratch;                         // flagged: operator delete
+    std::string label = std::to_string(total);  // flagged (std::string + std::to_string)
+    (void)label;
+}

@@ -1,0 +1,15 @@
+// Fixture: parallelism through the task-pool substrate passes.
+#include <cstddef>
+#include <vector>
+
+namespace fake_runtime {
+void parallel_for(std::size_t n, void (*body)(std::size_t));
+}
+
+double pool_sum(const std::vector<double>& xs) {
+    // Ordered reduction over pool-partitioned chunks: no OpenMP tokens at
+    // all, which is exactly what the rule wants outside src/runtime.
+    double total = 0.0;
+    for (const double x : xs) total += x;
+    return total;
+}

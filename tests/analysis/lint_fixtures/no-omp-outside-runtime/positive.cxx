@@ -1,0 +1,15 @@
+// Fixture: OpenMP usage outside src/runtime must be flagged.
+#include <omp.h>  // flagged
+
+#include <vector>
+
+double parallel_sum(const std::vector<double>& xs) {
+    double total = 0.0;
+    const int width = omp_get_max_threads();  // flagged
+    (void)width;
+#pragma omp parallel for reduction(+ : total)  // flagged
+    for (long i = 0; i < static_cast<long>(xs.size()); ++i) {
+        total += xs[static_cast<std::size_t>(i)];
+    }
+    return total;
+}

@@ -1,0 +1,10 @@
+// Fixture: a justified allow on the line above (or trailing on the same
+// line) suppresses exactly that rule at that site, and is not a finding.
+#include <chrono>
+
+double justified_telemetry() {
+    // qoc-lint-allow(determinism-wall-clock): wall-time telemetry; never feeds the numerics
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now();  // qoc-lint-allow(determinism-wall-clock): telemetry
+    return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,12 @@
+// Fixture: an allow with no justification is itself a finding AND does not
+// suppress the underlying violation; unknown rule names are flagged too.
+#include <chrono>
+
+double bad_suppressions() {
+    // qoc-lint-allow(determinism-wall-clock)
+    auto t0 = std::chrono::steady_clock::now();  // still flagged: no justification
+    // qoc-lint-allow(determinism-wall-clock):
+    auto t1 = std::chrono::steady_clock::now();  // still flagged: empty justification
+    // qoc-lint-allow(no-such-rule): typo'd rule names must not pass silently
+    return std::chrono::duration<double>(t1 - t0).count();
+}

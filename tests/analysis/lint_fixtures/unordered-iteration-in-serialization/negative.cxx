@@ -1,0 +1,27 @@
+// Fixture: sort-then-emit passes, and non-serializing iteration of an
+// unordered container is fine.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+struct Store {
+    std::unordered_map<std::string, double> cache;
+
+    void dump_jsonl(std::FILE* f) const {
+        std::vector<std::pair<std::string, double>> rows(cache.begin(), cache.end());
+        std::sort(rows.begin(), rows.end());
+        for (const auto& [key, value] : rows) {  // sorted copy: stable output
+            std::fprintf(f, "{\"type\":\"entry\",\"key\":\"%s\",\"value\":%f}\n", key.c_str(),
+                         value);
+        }
+    }
+
+    double total() const {
+        double sum = 0.0;
+        for (const auto& [key, value] : cache) sum += value;  // not serialized
+        return sum;
+    }
+};

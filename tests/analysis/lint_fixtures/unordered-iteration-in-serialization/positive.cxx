@@ -1,0 +1,16 @@
+// Fixture: JSONL emission iterating an unordered container must be flagged;
+// hash-map iteration order is not a stable output.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+struct Store {
+    std::unordered_map<std::string, double> cache;
+
+    void dump_jsonl(std::FILE* f) const {
+        for (const auto& [key, value] : cache) {  // flagged
+            std::fprintf(f, "{\"type\":\"entry\",\"key\":\"%s\",\"value\":%f}\n", key.c_str(),
+                         value);
+        }
+    }
+};

@@ -1,0 +1,154 @@
+// In-process coverage for the qoc_lint rule set against the checked-in
+// fixture tree (tests/analysis/lint_fixtures/<rule>/{positive,negative}.cxx).
+//
+// Every rule must (a) fire on its positive fixture, (b) stay silent on its
+// negative fixture, and (c) stop firing when disabled -- (c) is what proves
+// each finding actually comes from the named rule and not a neighbour.  The
+// golden test pins the JSON report byte-for-byte so the CI artifact format
+// cannot drift silently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+std::string fixture_dir(const std::string& rule) {
+    return std::string(QOC_LINT_FIXTURES) + "/" + rule;
+}
+
+std::vector<qoc_lint::Finding> scan(const std::string& path,
+                                    std::vector<std::string> disabled = {}) {
+    qoc_lint::Options opt;
+    opt.paths = {path};
+    opt.root = QOC_LINT_FIXTURES;
+    opt.ignore_scopes = true;  // scope layout is part of the real tree, not fixtures
+    opt.disabled = std::move(disabled);
+    return qoc_lint::run(opt);
+}
+
+std::size_t count_rule(const std::vector<qoc_lint::Finding>& findings, const std::string& rule) {
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [&](const qoc_lint::Finding& f) { return f.rule == rule; }));
+}
+
+struct RuleCase {
+    const char* rule;
+    std::size_t positive_findings;  // of this rule, in positive.cxx
+};
+
+// Expected finding counts mirror the fixture comments; a change here must be
+// deliberate on both sides.
+const RuleCase kCases[] = {
+    {"determinism-wall-clock", 6},
+    {"no-omp-outside-runtime", 3},
+    {"hot-path-alloc", 6},
+    {"dense-superop-materialization", 4},
+    {"unordered-iteration-in-serialization", 1},
+    {"obs-enum-sync", 2},
+};
+
+}  // namespace
+
+TEST(QocLint, RegistryListsEveryRule) {
+    const std::vector<qoc_lint::RuleInfo>& rules = qoc_lint::rules();
+    for (const RuleCase& c : kCases) {
+        const bool present =
+            std::any_of(rules.begin(), rules.end(),
+                        [&](const qoc_lint::RuleInfo& r) { return c.rule == std::string(r.name); });
+        EXPECT_TRUE(present) << "rule missing from registry: " << c.rule;
+    }
+    const bool has_suppression_rule =
+        std::any_of(rules.begin(), rules.end(), [](const qoc_lint::RuleInfo& r) {
+            return std::string(r.name) == "suppression-without-justification";
+        });
+    EXPECT_TRUE(has_suppression_rule);
+}
+
+TEST(QocLint, PositiveFixturesFire) {
+    for (const RuleCase& c : kCases) {
+        const auto findings = scan(fixture_dir(c.rule) + "/positive.cxx");
+        EXPECT_EQ(count_rule(findings, c.rule), c.positive_findings) << "rule: " << c.rule;
+        // Positives are single-rule by construction: no cross-talk.
+        EXPECT_EQ(findings.size(), c.positive_findings) << "rule: " << c.rule;
+    }
+}
+
+TEST(QocLint, NegativeFixturesStaySilent) {
+    for (const RuleCase& c : kCases) {
+        const auto findings = scan(fixture_dir(c.rule) + "/negative.cxx");
+        EXPECT_TRUE(findings.empty())
+            << "rule " << c.rule << " fired on its negative fixture: "
+            << (findings.empty() ? "" : findings.front().message);
+    }
+}
+
+TEST(QocLint, DisablingARuleSilencesItsPositiveFixture) {
+    // This is the "fixture fails when the rule is disabled" acceptance check:
+    // with the rule off the positive fixture must report nothing, proving the
+    // findings in PositiveFixturesFire come from that rule alone.
+    for (const RuleCase& c : kCases) {
+        const auto findings = scan(fixture_dir(c.rule) + "/positive.cxx", {c.rule});
+        EXPECT_EQ(count_rule(findings, c.rule), 0u) << "rule: " << c.rule;
+    }
+}
+
+TEST(QocLint, UnjustifiedSuppressionIsAFindingAndDoesNotSuppress) {
+    const auto findings = scan(fixture_dir("suppression-without-justification") + "/positive.cxx");
+    // Three bad allows (bare, empty justification, unknown rule) ...
+    EXPECT_EQ(count_rule(findings, "suppression-without-justification"), 3u);
+    // ... and the underlying wall-clock hits still surface.
+    EXPECT_EQ(count_rule(findings, "determinism-wall-clock"), 2u);
+}
+
+TEST(QocLint, JustifiedSuppressionSilencesExactlyThatSite) {
+    const auto findings = scan(fixture_dir("suppression-without-justification") + "/negative.cxx");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(QocLint, SuppressionAuditCannotBeDisabled) {
+    // The suppression audit runs even when named in `disabled`: exemptions
+    // must stay reviewable no matter how the tool is invoked.
+    const auto findings = scan(fixture_dir("suppression-without-justification") + "/positive.cxx",
+                               {"suppression-without-justification"});
+    EXPECT_EQ(count_rule(findings, "suppression-without-justification"), 3u);
+}
+
+TEST(QocLint, GoldenJsonReport) {
+    const auto findings = scan(QOC_LINT_FIXTURES);
+    EXPECT_EQ(findings.size(), 27u);
+    const std::string actual = qoc_lint::to_json(findings);
+
+    std::ifstream in(std::string(QOC_LINT_FIXTURES) + "/expected.json");
+    ASSERT_TRUE(in.good()) << "missing golden file expected.json";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+    // The golden file was captured from CLI stdout; tolerate one trailing
+    // newline difference.
+    auto rstrip = [](std::string s) {
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+        return s;
+    };
+    EXPECT_EQ(rstrip(actual), rstrip(expected));
+}
+
+TEST(QocLint, FindingsAreSortedAndRelative) {
+    const auto findings = scan(QOC_LINT_FIXTURES);
+    ASSERT_FALSE(findings.empty());
+    for (std::size_t i = 1; i < findings.size(); ++i) {
+        const auto key = [](const qoc_lint::Finding& f) {
+            return std::make_tuple(f.file, f.line, f.rule, f.message);
+        };
+        EXPECT_LE(key(findings[i - 1]), key(findings[i]));
+    }
+    for (const qoc_lint::Finding& f : findings) {
+        EXPECT_NE(f.file.front(), '/') << "paths must be root-relative: " << f.file;
+    }
+}

@@ -117,8 +117,12 @@ TEST(RuntimeDeterminism, SpanParentPropagatesThroughNestedSubmits) {
     ASSERT_NE(root_id, 0u);
     ASSERT_NE(mid_id, 0u);
     for (const auto& e : events) {
-        if (std::string_view(e.name) == "mid") EXPECT_EQ(e.parent, root_id);
-        if (std::string_view(e.name) == "leaf") EXPECT_EQ(e.parent, mid_id);
+        if (std::string_view(e.name) == "mid") {
+            EXPECT_EQ(e.parent, root_id);
+        }
+        if (std::string_view(e.name) == "leaf") {
+            EXPECT_EQ(e.parent, mid_id);
+        }
     }
     obs::reset_for_testing();
 }

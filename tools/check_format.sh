@@ -25,7 +25,7 @@ if [[ -z "$fmt" ]]; then
 fi
 
 mapfile -t files < <(git ls-files 'src/*.cpp' 'src/*.hpp' 'tests/*.cpp' 'tests/*.hpp' \
-    'bench/*.cpp' 'examples/*.cpp' 'tools/*.cpp')
+    'bench/*.cpp' 'examples/*.cpp' 'tools/*.cpp' 'tools/*.hpp')
 
 bad=0
 for f in "${files[@]}"; do

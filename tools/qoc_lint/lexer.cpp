@@ -1,0 +1,184 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace qoc_lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    return s.substr(b, e - b);
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, const std::string& src) {
+    LexedFile out;
+    out.path = std::move(path);
+    int line = 1;
+    bool code_on_line = false;  // a token already emitted on the current line
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+
+    auto advance_line = [&](char c) {
+        if (c == '\n') {
+            ++line;
+            code_on_line = false;
+        }
+    };
+    auto push = [&](TokKind kind, std::string text, int at) {
+        out.tokens.push_back(Token{kind, std::move(text), at});
+        code_on_line = true;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+            advance_line(c);
+            ++i;
+            continue;
+        }
+        // Line continuation inside preprocessor directives.
+        if (c == '\\' && i + 1 < n && (src[i + 1] == '\n' || src[i + 1] == '\r')) {
+            i += (i + 2 < n && src[i + 1] == '\r' && src[i + 2] == '\n') ? 3 : 2;
+            ++line;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const int at = line;
+            const bool trailing = code_on_line;
+            i += 2;
+            std::string text;
+            while (i < n && src[i] != '\n') text.push_back(src[i++]);
+            out.comments.push_back(Comment{trim(text), at, trailing});
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const int at = line;
+            const bool trailing = code_on_line;
+            i += 2;
+            std::string text;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                advance_line(src[i]);
+                text.push_back(src[i++]);
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            out.comments.push_back(Comment{trim(text), at, trailing});
+            continue;
+        }
+        // String literals, including raw strings R"delim( ... )delim".
+        if (c == '"' || (c == 'R' && i + 1 < n && src[i + 1] == '"')) {
+            const int at = line;
+            std::string text;
+            if (c == 'R') {
+                i += 2;  // R"
+                std::string delim;
+                while (i < n && src[i] != '(') delim.push_back(src[i++]);
+                if (i < n) ++i;  // (
+                const std::string close = ")" + delim + "\"";
+                while (i < n && src.compare(i, close.size(), close) != 0) {
+                    advance_line(src[i]);
+                    text.push_back(src[i++]);
+                }
+                i = (i < n) ? i + close.size() : n;
+            } else {
+                ++i;  // "
+                while (i < n && src[i] != '"') {
+                    if (src[i] == '\\' && i + 1 < n) {
+                        text.push_back(src[i]);
+                        text.push_back(src[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    advance_line(src[i]);
+                    text.push_back(src[i++]);
+                }
+                if (i < n) ++i;  // closing "
+            }
+            push(TokKind::kString, std::move(text), at);
+            continue;
+        }
+        if (c == '\'') {
+            const int at = line;
+            std::string text;
+            ++i;
+            while (i < n && src[i] != '\'') {
+                if (src[i] == '\\' && i + 1 < n) {
+                    text.push_back(src[i]);
+                    text.push_back(src[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                text.push_back(src[i++]);
+            }
+            if (i < n) ++i;
+            push(TokKind::kChar, std::move(text), at);
+            continue;
+        }
+        if (is_ident_start(c)) {
+            const int at = line;
+            std::string text;
+            while (i < n && is_ident_char(src[i])) text.push_back(src[i++]);
+            // Encoding-prefixed string literals (u8"...", L"...", uR"(..)").
+            if (i < n && (src[i] == '"') &&
+                (text == "u8" || text == "u" || text == "U" || text == "L")) {
+                // Re-lex as a plain string; the prefix is irrelevant to rules.
+                continue;  // loop re-enters at the quote
+            }
+            push(TokKind::kIdent, std::move(text), at);
+            continue;
+        }
+        if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+            const int at = line;
+            std::string text;
+            text.push_back(src[i++]);
+            while (i < n) {
+                const char d = src[i];
+                if (is_ident_char(d) || d == '.' || d == '\'') {
+                    text.push_back(src[i++]);
+                    continue;
+                }
+                if ((d == '+' || d == '-') && !text.empty()) {
+                    const char p = text.back();
+                    if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+                        text.push_back(src[i++]);
+                        continue;
+                    }
+                }
+                break;
+            }
+            push(TokKind::kNumber, std::move(text), at);
+            continue;
+        }
+        // Multi-char punctuators the rules care about.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            push(TokKind::kPunct, "::", line);
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            push(TokKind::kPunct, "->", line);
+            i += 2;
+            continue;
+        }
+        push(TokKind::kPunct, std::string(1, c), line);
+        ++i;
+    }
+    return out;
+}
+
+}  // namespace qoc_lint

@@ -1,0 +1,45 @@
+#pragma once
+/// qoc_lint lexer: a self-contained C++ tokenizer (no libclang) good enough
+/// for project-invariant linting.  It understands comments (kept separately
+/// for suppression parsing), string/char literals including raw strings,
+/// pp-numbers, identifiers, and the two multi-char punctuators the rules
+/// pattern-match on (`::`, `->`); everything else is single-char punctuation.
+/// Preprocessor lines are tokenized like ordinary code (`#` is a punctuator),
+/// which is exactly what the `#pragma omp` / `#include <omp.h>` rules need.
+
+#include <string>
+#include <vector>
+
+namespace qoc_lint {
+
+enum class TokKind {
+    kIdent,   ///< identifiers and keywords (rules distinguish by text)
+    kNumber,  ///< pp-number (covers ints, floats, hex, digit separators)
+    kString,  ///< string literal, text WITHOUT quotes (raw strings unescaped)
+    kChar,    ///< character literal, text without quotes
+    kPunct,   ///< punctuation; `::` and `->` are single tokens
+};
+
+struct Token {
+    TokKind kind;
+    std::string text;
+    int line;  ///< 1-based line of the token's first character
+};
+
+struct Comment {
+    std::string text;  ///< without the // or /* */ delimiters, trimmed
+    int line;          ///< 1-based line the comment starts on
+    bool trailing;     ///< true when code precedes it on the same line
+};
+
+struct LexedFile {
+    std::string path;
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`.  Never throws on malformed input: unterminated
+/// literals are closed at end-of-file so the rules still see partial files.
+LexedFile lex(std::string path, const std::string& source);
+
+}  // namespace qoc_lint

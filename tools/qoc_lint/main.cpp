@@ -1,0 +1,101 @@
+/// qoc_lint CLI.
+///
+///   qoc_lint [options] [paths...]
+///
+///   --root <dir>      repo root; findings are reported relative to it and
+///                     per-rule path scopes are evaluated there (default ".")
+///   --json            machine-readable output (stable ordering)
+///   --check           exit 1 when any finding survives (CI gate)
+///   --rule <name>     run only this rule (repeatable)
+///   --disable <name>  drop a rule from the active set (repeatable)
+///   --no-scope        apply every rule to every file (fixture testing)
+///   --list-rules      print the rule catalogue and exit
+///
+/// With no paths, scans src/ tools/ tests/ bench/ examples/ under --root.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--json] [--check] [--rule NAME]... "
+                 "[--disable NAME]... [--no-scope] [--list-rules] [paths...]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    qoc_lint::Options opt;
+    opt.root = ".";
+    bool json = false;
+    bool check = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--no-scope") {
+            opt.ignore_scopes = true;
+        } else if (arg == "--list-rules") {
+            for (const qoc_lint::RuleInfo& r : qoc_lint::rules()) {
+                std::printf("%-40s %s\n", r.name, r.description);
+            }
+            return 0;
+        } else if (arg == "--root") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            opt.root = v;
+        } else if (arg == "--rule") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            opt.enabled.emplace_back(v);
+        } else if (arg == "--disable") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            opt.disabled.emplace_back(v);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "qoc_lint: unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (paths.empty()) {
+        for (const char* sub : {"src", "tools", "tests", "bench", "examples"}) {
+            const std::filesystem::path p = std::filesystem::path(opt.root) / sub;
+            std::error_code ec;
+            if (std::filesystem::is_directory(p, ec)) paths.push_back(p.generic_string());
+        }
+    }
+    opt.paths = paths;
+
+    const std::vector<qoc_lint::Finding> findings = qoc_lint::run(opt);
+    if (json) {
+        std::fputs(qoc_lint::to_json(findings).c_str(), stdout);
+    } else {
+        for (const qoc_lint::Finding& f : findings) {
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                        f.message.c_str());
+        }
+        std::fprintf(stderr, "qoc_lint: %zu finding%s\n", findings.size(),
+                     findings.size() == 1 ? "" : "s");
+    }
+    return (check && !findings.empty()) ? 1 : 0;
+}
